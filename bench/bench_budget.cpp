@@ -1,0 +1,61 @@
+// §5's closing requirements as a platform scorecard: "To meet the
+// requirements for (i) UL and DL MAC scheduling, (ii) UL PHY decoding and
+// DL preparation, and (iii) both UL and DL radio latency, it is essential
+// to provide a real-world system capable of achieving these benchmarks.
+// ASIC-based processing ... can potentially achieve them ... software-based
+// processing and radio transmission using SDRs present significant
+// challenges."
+//
+// Three platforms against the paper's viable configuration (DM, µ2):
+// the §7 software testbed, a tuned software stack, and the footnote-1 ASIC.
+
+#include <cstdio>
+
+#include "core/budget.hpp"
+#include "tdd/common_config.hpp"
+
+using namespace u5g;
+
+namespace {
+
+void show(const DuplexConfig& cfg, AccessMode mode, const Platform& platform) {
+  const BudgetReport r = check_platform(cfg, mode, platform);
+  std::printf("-- %s | %s --\n", platform.name.c_str(), to_string(mode));
+  std::printf("   protocol floor %.3f ms of %.3f ms deadline -> %.3f ms remaining\n",
+              r.budget.protocol_floor.ms(), r.budget.deadline.ms(), r.budget.remaining.ms());
+  for (const BudgetItem& item : r.items) {
+    std::printf("   %-38s %9.1f us vs slot %6.1f us  [%s]\n", item.label.c_str(),
+                item.cost.us(), item.threshold.us(), item.within ? "ok" : "OVER");
+  }
+  std::printf("   projected worst case: %.3f ms -> %s\n\n", r.projected_worst.ms(),
+              r.meets_deadline ? "MEETS 0.5 ms" : "VIOLATES 0.5 ms");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== §5 platform budget check on TDD-Common(DM) at u2 ==\n\n");
+  const TddCommonConfig dm = TddCommonConfig::dm(kMu2);
+
+  const Platform platforms[] = {Platform::software_testbed(), Platform::software_tuned(),
+                                Platform::hardware_asic()};
+  for (const Platform& p : platforms) {
+    show(dm, AccessMode::GrantFreeUl, p);
+  }
+
+  // The paper's ordering: testbed fails, ASIC passes; the tuned software
+  // stack sits between — its mean behaviour is fine (the E2E sim delivers
+  // sub-ms p99) but the conservative 3-sigma tail arithmetic still overflows
+  // a 0.25 ms slot, which is precisely the paper's §5/§6 reservation about
+  // software stacks: "the difficulty of providing hard real-time guarantees".
+  const auto testbed = check_platform(dm, AccessMode::GrantFreeUl, Platform::software_testbed());
+  const auto tuned = check_platform(dm, AccessMode::GrantFreeUl, Platform::software_tuned());
+  const auto asic = check_platform(dm, AccessMode::GrantFreeUl, Platform::hardware_asic());
+  const bool ok = !testbed.meets_deadline && asic.meets_deadline &&
+                  tuned.projected_worst < testbed.projected_worst;
+  std::printf("testbed fails, ASIC passes, tuned software in between: %s\n",
+              ok ? "CONFIRMED" : "NOT OBSERVED");
+  std::printf("(the paper: \"achieving URLLC in FR1 is feasible, but necessitates strict\n"
+              "hardware and software requirements\")\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,112 @@
+// Coexistence study: URLLC alongside eMBB — the research-context experiment.
+// §1: "many research papers assume the availability of URLLC and focus on
+// the coexistence of it alongside other services, e.g., enhanced Mobile
+// Broadband" [11, 23, 26, 30, 39, 48, 57]. This bench implements the two
+// canonical downlink policies over our slot machinery and measures both
+// sides of the trade:
+//
+//   * slot-level queueing: URLLC waits for the first DL slot that is not
+//     already committed to eMBB (the scheduler commits one slot ahead);
+//   * mini-slot preemption (Rel-15 downlink preemption indication): URLLC
+//     punctures the ongoing eMBB transport block at 2-symbol granularity;
+//     the punctured eMBB TB is lost and retransmitted.
+//
+// Outputs: URLLC latency (mean/p99) and eMBB goodput fraction, vs URLLC load.
+
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "phy/frame_structure.hpp"
+#include "phy/numerology.hpp"
+
+using namespace u5g;
+using namespace u5g::literals;
+
+namespace {
+
+constexpr Numerology kNum = kMu1;  // 0.5 ms slots, eMBB-style carrier
+constexpr int kPackets = 20'000;
+
+struct Outcome {
+  double urllc_mean_us;
+  double urllc_p99_us;
+  double embb_goodput_frac;  ///< fraction of slot capacity delivering eMBB bits
+};
+
+/// All DL slots carry eMBB; URLLC packets arrive Poisson at `rate_pps`.
+Outcome run(bool preemption, double rate_pps, std::uint64_t seed) {
+  const SlotClock clk{kNum};
+  const Nanos slot = clk.slot_duration();
+  const Nanos mini = clk.symbol_duration() * 2;
+  Rng rng(seed);
+
+  SampleSet lat;
+  // eMBB accounting: punctured symbols waste the whole TB (it fails CRC and
+  // is retransmitted), so each preemption costs one slot of eMBB capacity;
+  // under queueing, URLLC consumes whole slots instead.
+  std::int64_t total_slots = 0;
+  std::int64_t lost_embb_slots = 0;
+
+  double t_s = 0.0;
+  Nanos committed_until = Nanos::zero();  // queueing: slots already committed
+  for (int i = 0; i < kPackets; ++i) {
+    t_s += rng.exponential(1.0 / rate_pps);
+    const Nanos arrival = from_us(t_s * 1e6);
+    if (preemption) {
+      // Next 2-symbol mini-slot boundary, puncture immediately.
+      const Nanos start = align_up(arrival, mini);
+      lat.add((start + mini - arrival).us());
+      ++lost_embb_slots;  // the punctured eMBB TB retransmits
+    } else {
+      // First slot not yet committed to eMBB: the scheduler runs one slot
+      // ahead, so the earliest steerable slot starts at the *second*
+      // boundary after arrival — unless a previous URLLC packet already
+      // claimed it.
+      Nanos start = clk.next_slot_boundary(arrival) + slot;
+      if (start < committed_until) start = committed_until;
+      lat.add((start + slot - arrival).us());
+      committed_until = start + slot;
+      ++lost_embb_slots;  // that slot carries URLLC instead of eMBB
+    }
+  }
+  const double horizon_slots = t_s * 1e9 / static_cast<double>(slot.count());
+  total_slots = static_cast<std::int64_t>(horizon_slots);
+  const double goodput = 1.0 - static_cast<double>(lost_embb_slots) /
+                                   static_cast<double>(total_slots);
+  return {lat.mean(), lat.quantile(0.99), goodput};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== URLLC/eMBB coexistence: slot-level queueing vs mini-slot preemption ==\n");
+  std::printf("   (u1 carrier, 0.5 ms slots, eMBB saturating the downlink)\n\n");
+  std::printf("   %12s | %21s | %21s | %19s\n", "", "URLLC queueing", "URLLC preemption",
+              "eMBB goodput");
+  std::printf("   %12s | %10s %10s | %10s %10s | %9s %9s\n", "load [pps]", "mean[us]",
+              "p99[us]", "mean[us]", "p99[us]", "queue", "preempt");
+
+  bool preempt_meets = true;
+  bool queue_fails = false;
+  bool goodput_cost_visible = false;
+  for (double rate : {100.0, 400.0, 800.0, 1600.0}) {
+    const Outcome q = run(false, rate, 600);
+    const Outcome p = run(true, rate, 601);
+    std::printf("   %12.0f | %10.1f %10.1f | %10.1f %10.1f | %8.1f%% %8.1f%%\n", rate,
+                q.urllc_mean_us, q.urllc_p99_us, p.urllc_mean_us, p.urllc_p99_us,
+                q.embb_goodput_frac * 100, p.embb_goodput_frac * 100);
+    preempt_meets = preempt_meets && p.urllc_p99_us < 500.0;
+    queue_fails = queue_fails || q.urllc_p99_us > 500.0;
+    goodput_cost_visible =
+        goodput_cost_visible || p.embb_goodput_frac < 0.95 || q.embb_goodput_frac < 0.95;
+  }
+
+  std::printf("\npreemption holds URLLC under the 0.5 ms deadline at every load; slot-level\n"
+              "queueing cannot (the committed-slot pipeline alone costs ~2 slots = 1 ms);\n"
+              "both pay eMBB goodput as URLLC load grows — the coexistence literature's\n"
+              "trade, reproduced on this library's slot machinery.\n");
+  const bool ok = preempt_meets && queue_fails && goodput_cost_visible;
+  std::printf("shape: %s\n", ok ? "CONFIRMED" : "NOT OBSERVED");
+  return ok ? 0 : 1;
+}

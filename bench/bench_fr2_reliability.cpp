@@ -1,0 +1,97 @@
+// FR2 (mmWave) end-to-end reliability experiment: the structural
+// reproduction of the field result the paper cites ([19], Fezeu et al.):
+// "sub-millisecond latencies in 5G mmWave can be achieved only 4.4 % of the
+// time rather than 99.99 % of the time."
+//
+// Full E2E runs at µ3 (FR2) with a fast PCIe radio and lean stack — latency
+// is excellent while the line-of-sight holds — under increasingly hostile
+// blockage. The metric is the paper's: fraction of offered packets delivered
+// within the deadline.
+
+#include <cstdio>
+
+#include "core/e2e_system.hpp"
+#include "core/reliability.hpp"
+#include "tdd/common_config.hpp"
+
+using namespace u5g;
+using namespace u5g::literals;
+
+namespace {
+
+constexpr int kPackets = 2000;
+
+struct Outcome {
+  double delivered_frac;
+  double sub_ms_frac;     ///< of offered: delivered within 1 ms one-way
+  double p50_ms;
+};
+
+Outcome run(std::optional<MmWaveBlockage::Params> blockage, std::uint64_t seed) {
+  E2eConfig cfg;
+  cfg.duplex = std::make_shared<TddCommonConfig>(TddCommonConfig::dddu(kMu3));
+  cfg.grant_free = true;
+  cfg.cg = ConfiguredGrantConfig::periodic(kMu3.slot_duration(), 256, 4);
+  cfg.sched.radio_lead = kMu3.slot_duration();
+  cfg.sched.margin = Nanos{30'000};
+  cfg.sched.ue_min_prep = Nanos{60'000};
+  cfg.sched.ul_tx_symbols = 4;
+  cfg.gnb_radio = RadioHeadParams::pcie_sdr();
+  cfg.ue_radio = RadioHeadParams::pcie_sdr();
+  cfg.gnb_proc = ProcessingProfile::asic();
+  cfg.ue_proc = ProcessingProfile::asic();
+  cfg.upf.backhaul_latency = Nanos{10'000};
+  cfg.harq_feedback_delay = kMu3.slot_duration();
+  cfg.blockage = blockage;
+  cfg.seed = seed;
+  E2eSystem sys(std::move(cfg));
+
+  Rng rng(seed + 1);
+  const Nanos spacing = 2_ms;
+  for (int i = 0; i < kPackets; ++i) {
+    sys.send_downlink_at(spacing * i + Nanos{static_cast<std::int64_t>(rng.uniform() * 5e5)});
+  }
+  sys.run_until(spacing * (kPackets + 100));
+
+  auto lat = sys.latency_samples_us(Direction::Downlink);
+  const auto rel = evaluate_reliability(lat, kPackets, 1_ms);
+  return {static_cast<double>(lat.count()) / kPackets, rel.fraction_within,
+          lat.quantile(0.5) / 1e3};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== FR2 end-to-end: latency is easy, reliability is the wall (cf. [19]) ==\n\n");
+  std::printf("µ3 DDDU, PCIe radio, hardware-lean stack; DL packets every 2 ms.\n\n");
+  std::printf("   %-34s %11s %12s %9s\n", "channel", "delivered", "sub-ms frac", "p50[ms]");
+
+  struct Case {
+    const char* label;
+    std::optional<MmWaveBlockage::Params> blockage;
+  };
+  const Case cases[] = {
+      {"clear line-of-sight", std::nullopt},
+      {"light blockage (LoS 73%)", MmWaveBlockage::Params{}},
+      {"mobility/urban (LoS 40%)",
+       MmWaveBlockage::Params{100_ms, 150_ms, 0.98}},
+      {"hostile (LoS 15%)", MmWaveBlockage::Params{30_ms, 170_ms, 0.995}},
+  };
+
+  double clear_subms = 0.0;
+  double hostile_subms = 1.0;
+  for (std::size_t i = 0; i < std::size(cases); ++i) {
+    const Outcome o = run(cases[i].blockage, 400 + i);
+    std::printf("   %-34s %10.2f%% %11.2f%% %9.3f\n", cases[i].label, o.delivered_frac * 100,
+                o.sub_ms_frac * 100, o.p50_ms);
+    if (i == 0) clear_subms = o.sub_ms_frac;
+    if (i + 1 == std::size(cases)) hostile_subms = o.sub_ms_frac;
+  }
+
+  std::printf("\nURLLC needs %.2f%%; mmWave under blockage delivers sub-ms only a small\n"
+              "fraction of the time — the [19] phenomenon, reproduced structurally.\n",
+              kUrllcReliabilityTarget * 100);
+  const bool ok = clear_subms > 0.99 && hostile_subms < 0.30;
+  std::printf("shape reproduction: %s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}

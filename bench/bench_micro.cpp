@@ -1,0 +1,88 @@
+// Microbenchmarks of the library's own hot paths (google-benchmark): the
+// event kernel, the protocol entities, the opportunity queries, and the
+// analytic engine. These guard the simulator's performance — a full Fig 6
+// run schedules hundreds of thousands of events.
+
+#include <benchmark/benchmark.h>
+
+#include "common/bytes.hpp"
+#include "core/latency_model.hpp"
+#include "pdcp/pdcp_entity.hpp"
+#include "rlc/rlc_entity.hpp"
+#include "sim/simulator.hpp"
+#include "tdd/common_config.hpp"
+#include "tdd/opportunity.hpp"
+
+using namespace u5g;
+
+namespace {
+
+void BM_SimulatorScheduleFire(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule_at(Nanos{i * 100}, [&fired] { ++fired; });
+    }
+    sim.run_until();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorScheduleFire);
+
+void BM_PdcpProtectVerify(benchmark::State& state) {
+  PdcpTx tx;
+  PdcpRx rx;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    ByteBuffer b(n, 0x42);
+    tx.protect(b);
+    int delivered = 0;
+    rx.receive(std::move(b), [&](ByteBuffer&&, std::uint32_t) { ++delivered; });
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_PdcpProtectVerify)->Arg(64)->Arg(1500);
+
+void BM_RlcSegmentReassemble(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    RlcTx tx(RlcMode::UM);
+    RlcRx rx(RlcMode::UM);
+    tx.enqueue(ByteBuffer(n, 0x7), Nanos::zero());
+    int delivered = 0;
+    while (auto pdu = tx.pull(128)) {
+      rx.receive(std::move(pdu->pdu), [&](ByteBuffer&&) { ++delivered; });
+    }
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_RlcSegmentReassemble)->Arg(64)->Arg(4096);
+
+void BM_NextUlTx(benchmark::State& state) {
+  const TddCommonConfig cfg = TddCommonConfig::dm(kMu2);
+  Nanos t{0};
+  for (auto _ : state) {
+    const auto w = next_ul_tx(cfg, t, 2);
+    benchmark::DoNotOptimize(w);
+    t = w ? w->start + Nanos{1} : Nanos{0};
+    if (t > Nanos{1'000'000'000}) t = Nanos{0};
+  }
+}
+BENCHMARK(BM_NextUlTx);
+
+void BM_WorstCaseSweep(benchmark::State& state) {
+  const TddCommonConfig cfg = TddCommonConfig::dm(kMu2);
+  for (auto _ : state) {
+    const auto wc = analyze_worst_case(cfg, AccessMode::GrantBasedUl, {});
+    benchmark::DoNotOptimize(wc);
+  }
+}
+BENCHMARK(BM_WorstCaseSweep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,138 @@
+// Extension X5 (§9): predictive configured grants. Static grant-free
+// pre-allocation wastes every unused occasion; the predictor allocates one
+// just-in-time occasion per expected packet. This bench compares the two on
+// a periodic URLLC workload with timing jitter: reserved windows per second,
+// wasted fraction, and the latency each packet actually sees.
+
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "mac/configured_grant.hpp"
+#include "mac/predictive_cg.hpp"
+#include "tdd/common_config.hpp"
+
+using namespace u5g;
+using namespace u5g::literals;
+
+namespace {
+
+constexpr int kPackets = 4000;
+constexpr Nanos kStackLead{60'000};  // APP->MAC traversal before the occasion
+
+struct Workload {
+  std::vector<Nanos> arrivals;
+};
+
+Workload make_workload(Nanos period, Nanos jitter_std, std::uint64_t seed) {
+  Workload w;
+  Rng rng(seed);
+  for (int i = 0; i < kPackets; ++i) {
+    const auto jitter =
+        static_cast<std::int64_t>(rng.normal(0.0, static_cast<double>(jitter_std.count())));
+    w.arrivals.push_back(period * (i + 1) + Nanos{jitter});
+  }
+  return w;
+}
+
+struct Outcome {
+  double reserved_per_s;
+  double wasted_frac;
+  double mean_latency_us;
+  double p99_latency_us;
+  int fallback_count;  ///< packets that missed their occasion (served late)
+};
+
+/// Static blanket pre-allocation: one occasion per slot-grid period.
+Outcome run_static(const DuplexConfig& cfg, const Workload& w) {
+  const ConfiguredGrant cg{UeId{1},
+                           ConfiguredGrantConfig::periodic(cfg.period(), 128, 2)};
+  SampleSet lat;
+  int used = 0;
+  for (const Nanos a : w.arrivals) {
+    const auto occ = cg.next_occasion(cfg, a + kStackLead);
+    if (!occ) continue;
+    lat.add((occ->tx_end - a).us());
+    ++used;
+  }
+  const double horizon_s = static_cast<double>(w.arrivals.back().count()) / 1e9;
+  const double reserved = cg.occasions_per_second(cfg);
+  return {reserved, 1.0 - used / (reserved * horizon_s), lat.mean(), lat.quantile(0.99), 0};
+}
+
+/// Predictive just-in-time allocation with SR-style fallback on a miss.
+Outcome run_predictive(const DuplexConfig& cfg, const Workload& w) {
+  PredictiveConfiguredGrant pcg{UeId{1}, 2, 128, kStackLead};
+  SampleSet lat;
+  int planned = 0;
+  int used = 0;
+  int fallbacks = 0;
+  Nanos now = Nanos::zero();
+  for (const Nanos a : w.arrivals) {
+    const auto occ = pcg.plan_next_occasion(cfg, now);
+    pcg.observe_arrival(a);
+    const Nanos ready = a + kStackLead;
+    if (occ) {
+      ++planned;
+      if (occ->tx_start >= ready) {
+        // The planned occasion serves this packet.
+        lat.add((occ->tx_end - a).us());
+        ++used;
+        now = occ->tx_end;
+        continue;
+      }
+      // Occasion opened before the data was ready: wasted; fall back.
+    }
+    ++fallbacks;
+    const auto fb = next_ul_tx(cfg, ready, 2);
+    if (fb) {
+      lat.add((fb->end - a).us());
+      now = fb->end;
+    }
+  }
+  const double horizon_s = static_cast<double>(w.arrivals.back().count()) / 1e9;
+  const double reserved = (planned + fallbacks) / horizon_s;
+  const double wasted = planned > 0 ? static_cast<double>(planned - used) / planned : 0.0;
+  return {reserved, wasted, lat.mean(), lat.quantile(0.99), fallbacks};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== X5: predictive vs static grant-free allocation (DM, u2) ==\n\n");
+  const TddCommonConfig dm = TddCommonConfig::dm(kMu2);
+
+  std::printf("periodic workload, 1 ms period; sweep the arrival jitter:\n\n");
+  std::printf("   %12s | %20s | %20s | %9s\n", "", "reserved [1/s]", "latency [us]", "");
+  std::printf("   %12s | %9s %10s | %9s %10s | %9s\n", "jitter[us]", "static", "predictive",
+              "static", "predictive", "fallbacks");
+
+  bool waste_cut = true;
+  bool latency_close = true;
+  for (const Nanos jitter : {0_us, 20_us, 50_us, 100_us}) {
+    const Workload w = make_workload(1_ms, jitter, 900 + static_cast<std::uint64_t>(jitter.us()));
+    const Outcome st = run_static(dm, w);
+    const Outcome pr = run_predictive(dm, w);
+    std::printf("   %12.0f | %9.0f %10.0f | %9.0f %10.0f | %9d\n", jitter.us(),
+                st.reserved_per_s, pr.reserved_per_s, st.mean_latency_us, pr.mean_latency_us,
+                pr.fallback_count);
+    waste_cut = waste_cut && pr.reserved_per_s < st.reserved_per_s * 0.75;
+    // Up to moderate jitter the predictor matches static latency; at large
+    // jitter the required safety margin buys waste reduction with latency —
+    // a real trade-off, reported rather than hidden.
+    if (jitter <= 50_us) {
+      latency_close = latency_close && pr.mean_latency_us < st.mean_latency_us * 1.25;
+    }
+  }
+
+  std::printf("\nstatic reserves one occasion per TDD period (%.0f/s) regardless of traffic;\n"
+              "the predictor reserves ~the packet rate (1000/s) and holds grant-free-class\n"
+              "latency up to ~50 us jitter; beyond that its safety margin trades latency for\n"
+              "the waste reduction (blanket pre-allocation is jitter-immune by construction).\n",
+              ConfiguredGrant(UeId{1}, ConfiguredGrantConfig::periodic(dm.period(), 128, 2))
+                  .occasions_per_second(dm));
+  const bool ok = waste_cut && latency_close;
+  std::printf("prediction cuts pre-allocation while keeping latency: %s\n",
+              ok ? "CONFIRMED" : "NOT OBSERVED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,84 @@
+// Extension X6 (§6): repetition vs HARQ on the paper's viable configuration.
+// [27] (cited in §8) argues for "avoiding retransmissions to minimize
+// latency"; Rel-16 URLLC's answer is blind repetition. Same residual
+// reliability by construction — the question is what each scheme does to the
+// latency distribution, on the DM pattern where UL opportunities come in one
+// 8-symbol burst per 0.5 ms period.
+
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "core/repetition.hpp"
+#include "tdd/common_config.hpp"
+
+using namespace u5g;
+using namespace u5g::literals;
+
+namespace {
+
+constexpr int kPackets = 30'000;
+
+struct Row {
+  double delivered_frac;
+  double mean_us;
+  double p99_us;
+  double p999_us;
+};
+
+template <typename OutcomeFn>
+Row sweep(const TddCommonConfig& cfg, const ReliabilitySchemeParams& p, OutcomeFn outcome,
+          std::uint64_t seed) {
+  Rng rng(seed);
+  Rng arrivals(seed + 1);
+  SampleSet lat;
+  int delivered = 0;
+  for (int i = 0; i < kPackets; ++i) {
+    const Nanos at = cfg.period() * (4 * i) +
+                     Nanos{static_cast<std::int64_t>(
+                         arrivals.uniform() * static_cast<double>(cfg.period().count()))};
+    const SchemeOutcome o = outcome(cfg, at, p, rng);
+    if (o.delivered) {
+      ++delivered;
+      lat.add((o.completion - at).us());
+    }
+  }
+  return {static_cast<double>(delivered) / kPackets, lat.mean(), lat.quantile(0.99),
+          lat.quantile(0.999)};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== X6: HARQ vs blind repetition on TDD-Common(DM), u2, grant-free UL ==\n\n");
+  const TddCommonConfig dm = TddCommonConfig::dm(kMu2);
+
+  std::printf("   %10s %9s | %9s %8s %9s %9s | %9s %8s %9s %9s\n", "", "", "HARQ", "", "", "",
+              "repetition", "", "", "");
+  std::printf("   %10s %9s | %9s %8s %9s %9s | %9s %8s %9s %9s\n", "BLER", "resid.loss",
+              "deliv", "mean", "p99", "p99.9", "deliv", "mean", "p99", "p99.9");
+
+  bool rep_beats_harq_tail = true;
+  bool reliability_matches = true;
+  for (double bler : {0.01, 0.1, 0.3}) {
+    ReliabilitySchemeParams p;
+    p.per_tx_bler = bler;
+    p.harq_feedback_delay = dm.period();  // feedback rides the next period's DL
+    const double resid = residual_loss(p);
+    const Row h = sweep(dm, p, harq_outcome, 700);
+    const Row r = sweep(dm, p, repetition_outcome, 701);
+    std::printf("   %10.2f %9.1e | %8.1f%% %8.0f %9.0f %9.0f | %8.1f%% %8.0f %9.0f %9.0f\n",
+                bler, resid, h.delivered_frac * 100, h.mean_us, h.p99_us, h.p999_us,
+                r.delivered_frac * 100, r.mean_us, r.p99_us, r.p999_us);
+    rep_beats_harq_tail = rep_beats_harq_tail && r.p999_us < h.p999_us;
+    reliability_matches =
+        reliability_matches && std::abs(h.delivered_frac - r.delivered_frac) < 0.01;
+  }
+
+  std::printf("\nrepetition buys its reliability without feedback round trips: identical\n"
+              "residual loss, but the recovery happens within the same UL burst instead of\n"
+              "one TDD period later — exactly why [27]/Rel-16 URLLC avoids retransmissions.\n");
+  const bool ok = rep_beats_harq_tail && reliability_matches;
+  std::printf("shape: %s\n", ok ? "CONFIRMED" : "NOT OBSERVED");
+  return ok ? 0 : 1;
+}

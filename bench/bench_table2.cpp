@@ -1,0 +1,64 @@
+// Reproduces Table 2: gNB layers' processing and queuing time on the §7
+// testbed configuration. SDAP/PDCP/RLC/MAC/PHY are calibrated lognormal
+// draws (moment-matched to the paper's measurements); RLC-q is NOT drawn —
+// it emerges from the per-slot scheduler serving the DL RLC queue, and this
+// bench verifies the emergent value lands near the paper's 484 µs.
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/e2e_system.hpp"
+
+using namespace u5g;
+using namespace u5g::literals;
+
+int main() {
+  std::printf("== Table 2: gNB per-layer processing and queuing time [us] ==\n\n");
+
+  E2eSystem sys(E2eConfig::testbed(/*grant_free=*/false, 7));
+  const Nanos period = 2_ms;
+  Rng rng(99);
+  constexpr int kPackets = 3000;
+  for (int i = 0; i < kPackets; ++i) {
+    const Nanos base = period * (2 * i);
+    sys.send_uplink_at(base + Nanos{static_cast<std::int64_t>(
+                                  rng.uniform() * static_cast<double>(period.count()))});
+    sys.send_downlink_at(base + period +
+                         Nanos{static_cast<std::int64_t>(
+                             rng.uniform() * static_cast<double>(period.count()))});
+  }
+  sys.run_until(period * (2 * kPackets + 20));
+
+  struct Row {
+    const char* name;
+    RunningStats stats;
+    double paper_mean;
+    double paper_std;
+  };
+  const Row rows[] = {
+      {"SDAP", sys.gnb_layer_stats_us(Layer::SDAP), 4.65, 6.71},
+      {"PDCP", sys.gnb_layer_stats_us(Layer::PDCP), 8.29, 8.99},
+      {"RLC", sys.gnb_layer_stats_us(Layer::RLC), 4.12, 8.37},
+      {"RLC-q", sys.rlc_queue_stats_us(), 484.20, 89.46},
+      {"MAC", sys.gnb_layer_stats_us(Layer::MAC), 55.21, 16.31},
+      {"PHY", sys.gnb_layer_stats_us(Layer::PHY), 41.55, 10.83},
+  };
+
+  TextTable out({"layer", "mean [us]", "std [us]", "paper mean", "paper std", "n"});
+  bool ok = true;
+  for (const Row& r : rows) {
+    out.add_row({r.name, fmt2(r.stats.mean()), fmt2(r.stats.stddev()), fmt2(r.paper_mean),
+                 fmt2(r.paper_std), std::to_string(r.stats.count())});
+    // Calibrated rows must land tight; the emergent RLC-q within ~35 %.
+    const double tolerance = std::string{r.name} == "RLC-q" ? 0.35 : 0.15;
+    if (r.stats.count() == 0 ||
+        std::abs(r.stats.mean() - r.paper_mean) > tolerance * r.paper_mean) {
+      ok = false;
+    }
+  }
+  std::printf("%s\n", out.render().c_str());
+  std::printf("note: RLC-q emerges from slot geometry + scheduler lead, not from a draw.\n");
+  std::printf("reproduction %s Table 2 (calibrated rows within 15%%, RLC-q within 35%%)\n",
+              ok ? "MATCHES" : "DIFFERS FROM");
+  return ok ? 0 : 1;
+}

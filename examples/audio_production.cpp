@@ -1,0 +1,71 @@
+// Example: professional live audio over 5G — the Nokia/Sennheiser use case
+// the paper discusses in §8 ([33]): wireless microphones need ~1 ms-class
+// mouth-to-ear contributions from the link, and every late frame is an
+// audible dropout.
+//
+// A microphone UE streams 250 µs audio frames uplink. We measure per-frame
+// one-way latency and the dropout rate at a playout deadline, and show the
+// §8 observation that retransmissions move latency "in steps of 0.5 ms"
+// (one slot) per recovery round when the channel is lossy.
+
+#include <cstdio>
+
+#include "core/e2e_system.hpp"
+#include "core/reliability.hpp"
+
+using namespace u5g;
+using namespace u5g::literals;
+
+namespace {
+
+constexpr int kFrames = 1500;
+
+void run(const char* title, double channel_loss, std::uint64_t seed) {
+  E2eConfig cfg = E2eConfig::urllc_design(seed);
+  cfg.channel_loss = channel_loss;
+  cfg.payload_bytes = 192;  // 48 kHz * 24-bit stereo * 250 us + header
+  E2eSystem sys(std::move(cfg));
+
+  const Nanos frame_period = 250_us;
+  for (int i = 0; i < kFrames; ++i) {
+    sys.send_uplink_at(frame_period * i);
+  }
+  sys.run_until(frame_period * kFrames + 200_ms);
+
+  auto lat = sys.latency_samples_us(Direction::Uplink);
+  const Nanos playout = 2_ms;
+  const auto rel = evaluate_reliability(lat, kFrames, playout);
+
+  // Retransmission steps: count delivered frames per attempt bucket.
+  int by_attempt[5] = {0, 0, 0, 0, 0};
+  double mean_by_attempt[5] = {0, 0, 0, 0, 0};
+  for (const PacketRecord& r : sys.records()) {
+    if (!r.ok || r.dir != Direction::Uplink) continue;
+    const int a = std::min(r.harq_transmissions, 4);
+    ++by_attempt[a];
+    mean_by_attempt[a] += r.latency().ms();
+  }
+
+  std::printf("-- %s (channel loss %.1f%%) --\n", title, channel_loss * 100);
+  std::printf("   frames delivered: %zu/%d, mean %.0f us, p99 %.0f us, p99.9 %.0f us\n",
+              lat.count(), kFrames, lat.mean(), lat.quantile(0.99), lat.quantile(0.999));
+  std::printf("   dropouts at %.1f ms playout deadline: %.3f%% (reliability %.3f%%)\n",
+              playout.ms(), (1.0 - rel.fraction_within) * 100, rel.fraction_within * 100);
+  for (int a = 1; a <= 4; ++a) {
+    if (by_attempt[a] == 0) continue;
+    std::printf("   frames needing %d transmission(s): %5d, mean latency %.3f ms\n", a,
+                by_attempt[a], mean_by_attempt[a] / by_attempt[a]);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Professional live audio: 250 us frames uplink on the URLLC design point ==\n\n");
+  run("clean channel", 0.0, 11);
+  run("lossy channel", 0.05, 12);
+  std::printf("note the per-retransmission latency step of ~one extra access round — the §8\n"
+              "observation that recovery quantises latency in slot-sized steps.\n");
+  return 0;
+}

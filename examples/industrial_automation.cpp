@@ -1,0 +1,77 @@
+// Example: industrial automation — the motivating URLLC workload the paper's
+// introduction cites ([13], [16]) and the reason private 5G matters (§2).
+//
+// A factory controller closes a control loop over 5G: each cycle the PLC
+// sends a command downlink to an actuator UE and the UE reports its sensor
+// state uplink. The loop breaks if either direction misses its deadline.
+// We compare the paper's testbed configuration against its proposed URLLC
+// design point and report deadline-miss statistics per configuration.
+
+#include <cstdio>
+
+#include "core/e2e_system.hpp"
+#include "core/reliability.hpp"
+
+using namespace u5g;
+using namespace u5g::literals;
+
+namespace {
+
+constexpr int kCycles = 1000;
+
+struct LoopStats {
+  double ul_p99_us;
+  double dl_p99_us;
+  double ul_reliability;
+  double dl_reliability;
+};
+
+LoopStats run_control_loop(E2eConfig cfg, Nanos cycle, Nanos deadline) {
+  E2eSystem sys(std::move(cfg));
+  // Periodic control traffic: command down at the cycle start, sensor report
+  // up half a cycle later.
+  for (int i = 0; i < kCycles; ++i) {
+    sys.send_downlink_at(cycle * i);
+    sys.send_uplink_at(cycle * i + cycle / 2);
+  }
+  sys.run_until(cycle * (kCycles + 50));
+
+  auto ul = sys.latency_samples_us(Direction::Uplink);
+  auto dl = sys.latency_samples_us(Direction::Downlink);
+  return {ul.quantile(0.99), dl.quantile(0.99),
+          evaluate_reliability(ul, kCycles, deadline).fraction_within,
+          evaluate_reliability(dl, kCycles, deadline).fraction_within};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Industrial automation: 1 kHz-class control loop over private 5G ==\n\n");
+  const Nanos cycle = 10_ms;      // 100 Hz control loop
+  const Nanos deadline = 2_ms;    // actuation budget per direction
+
+  std::printf("cycle %.1f ms, per-direction deadline %.1f ms, %d cycles\n\n", cycle.ms(),
+              deadline.ms(), kCycles);
+  std::printf("   %-28s %10s %10s %14s %14s\n", "configuration", "UL p99", "DL p99",
+              "UL in-deadline", "DL in-deadline");
+
+  const LoopStats testbed = run_control_loop(E2eConfig::testbed(/*grant_free=*/false, 5), cycle,
+                                             deadline);
+  std::printf("   %-28s %8.0fus %8.0fus %13.2f%% %13.2f%%\n",
+              "testbed (DDDU, USB2, SR/grant)", testbed.ul_p99_us, testbed.dl_p99_us,
+              testbed.ul_reliability * 100, testbed.dl_reliability * 100);
+
+  const LoopStats gf = run_control_loop(E2eConfig::testbed(/*grant_free=*/true, 6), cycle,
+                                        deadline);
+  std::printf("   %-28s %8.0fus %8.0fus %13.2f%% %13.2f%%\n", "testbed + grant-free UL",
+              gf.ul_p99_us, gf.dl_p99_us, gf.ul_reliability * 100, gf.dl_reliability * 100);
+
+  const LoopStats urllc = run_control_loop(E2eConfig::urllc_design(7), cycle, deadline);
+  std::printf("   %-28s %8.0fus %8.0fus %13.2f%% %13.2f%%\n",
+              "URLLC design (DM, PCIe, CG)", urllc.ul_p99_us, urllc.dl_p99_us,
+              urllc.ul_reliability * 100, urllc.dl_reliability * 100);
+
+  std::printf("\ntakeaway: the same software stack spans 'control loop broken' to 'URLLC-grade'\n"
+              "purely through the paper's §5 design choices (pattern, access mode, radio, lead).\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Example: why the paper rules out FR2 (mmWave) for URLLC despite its
+// 15.625 µs slots (§1, §5): line-of-sight blockage destroys *reliability*.
+// Reproduces the structure of the Fezeu et al. finding the paper cites —
+// sub-millisecond latency achieved only in a small fraction of packets
+// (4.4 % in [19]) — using the blockage process from phy/channel.
+//
+// FR1 at µ2 has 16x longer slots, yet wins on delivered-within-deadline.
+
+#include <cstdio>
+
+#include "core/latency_model.hpp"
+#include "phy/channel.hpp"
+#include "tdd/common_config.hpp"
+
+using namespace u5g;
+using namespace u5g::literals;
+
+int main() {
+  std::printf("== mmWave (FR2) vs sub-6 GHz (FR1): latency is not reliability ==\n\n");
+
+  // FR2: µ6 gives 15.625 µs slots — protocol latency is tiny...
+  const TddCommonConfig fr2_cfg{kMu6, TddPattern{500_us, 15, 4, 8, 16}};
+  const auto fr2_wc = analyze_worst_case(fr2_cfg, AccessMode::GrantFreeUl, {});
+  // FR1: the paper's DM design at µ2.
+  const TddCommonConfig fr1_cfg = TddCommonConfig::dm(kMu2);
+  const auto fr1_wc = analyze_worst_case(fr1_cfg, AccessMode::GrantFreeUl, {});
+
+  std::printf("protocol-only worst-case UL latency:\n");
+  std::printf("   FR2 (u6, 15.625 us slots): %8.1f us\n", fr2_wc.worst.us());
+  std::printf("   FR1 (u2, DM):              %8.1f us\n\n", fr1_wc.worst.us());
+
+  // ...but the FR2 link spends a large fraction of time blocked.
+  constexpr int kPackets = 200'000;
+  const Nanos spacing = 1_ms;
+
+  MmWaveBlockage fr2_link{MmWaveBlockage::Params{}, Rng{101}};
+  int fr2_ok = 0;
+  for (int i = 0; i < kPackets; ++i) {
+    if (fr2_link.transmit_ok(spacing * i)) ++fr2_ok;
+  }
+  // FR1 link: no blockage process; a well-adapted MCS gives ~1e-4 BLER.
+  LinkModel fr1_link{/*snr_db=*/18.0};
+  const McsEntry mcs = highest_mcs_below_rate(0.5);
+  Rng fr1_rng{102};
+  int fr1_ok = 0;
+  for (int i = 0; i < kPackets; ++i) {
+    if (fr1_link.transmit_ok(mcs, fr1_rng)) ++fr1_ok;
+  }
+
+  const double fr2_delivery = static_cast<double>(fr2_ok) / kPackets;
+  const double fr1_delivery = static_cast<double>(fr1_ok) / kPackets;
+  std::printf("first-transmission delivery over %d packets:\n", kPackets);
+  std::printf("   FR2 with blockage (LoS %.0f%% of time): %7.3f%%\n",
+              fr2_link.los_fraction() * 100, fr2_delivery * 100);
+  std::printf("   FR1 at 18 dB SNR, MCS %d (%s r=%.2f):   %7.3f%%\n", mcs.index,
+              std::string(to_string(mcs.modulation)).c_str(), mcs.code_rate(),
+              fr1_delivery * 100);
+
+  // Packets meeting BOTH the 0.5 ms deadline and delivery:
+  const double fr2_urllc = fr2_delivery;  // latency always < deadline on FR2
+  const double fr1_urllc = fr1_delivery;  // DM worst case is exactly at the deadline
+  std::printf("\nfraction usable for URLLC (delivered AND within 0.5 ms):\n");
+  std::printf("   FR2: %7.3f%%   <- nowhere near 99.99%% (the paper cites 4.4%% sub-ms in "
+              "the field [19])\n",
+              fr2_urllc * 100);
+  std::printf("   FR1: %7.3f%%   <- reliability is attainable; latency needs §5's choices\n",
+              fr1_urllc * 100);
+  return 0;
+}

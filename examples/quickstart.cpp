@@ -1,0 +1,61 @@
+// Quickstart: the library in ~60 lines.
+//
+// 1. Pick a duplex configuration (here: the paper's only viable minimal TDD
+//    configuration, DM at µ2).
+// 2. Ask the analytic engine whether it meets the URLLC deadline.
+// 3. Trace one ping round trip, step by step.
+// 4. Run the full event-driven system and compare.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/e2e_system.hpp"
+#include "core/journey.hpp"
+#include "core/latency_model.hpp"
+#include "tdd/common_config.hpp"
+
+using namespace u5g;
+using namespace u5g::literals;
+
+int main() {
+  // --- 1. A duplex configuration ------------------------------------------
+  const TddCommonConfig dm = TddCommonConfig::dm(kMu2);
+  std::printf("configuration: %s\n", dm.name().c_str());
+  std::printf("slot map:      %s\n\n", dm.render_period().c_str());
+
+  // --- 2. Analytic worst case vs the 0.5 ms URLLC deadline ----------------
+  for (AccessMode m : {AccessMode::GrantFreeUl, AccessMode::GrantBasedUl, AccessMode::Downlink}) {
+    const WorstCaseResult wc = analyze_worst_case(dm, m, {});
+    std::printf("%-14s worst %.3f ms -> %s\n", to_string(m), wc.worst.ms(),
+                wc.worst <= kUrllcOneWayDeadline ? "meets 0.5 ms" : "VIOLATES 0.5 ms");
+  }
+
+  // --- 3. One ping, decomposed --------------------------------------------
+  JourneyParams jp;
+  jp.grant_free = true;
+  const PingJourney ping = trace_ping(dm, dm.period() * 8 + 100_us, jp);
+  std::printf("\nping round trip (grant-free): %.3f ms\n", ping.rtt.ms());
+  for (LatencyCategory c :
+       {LatencyCategory::Protocol, LatencyCategory::Processing, LatencyCategory::Radio}) {
+    std::printf("  %-11s %.3f ms\n", to_string(c), ping.category_total(c).ms());
+  }
+
+  // --- 4. The full event-driven system ------------------------------------
+  E2eSystem sys(E2eConfig::urllc_design(/*seed=*/1));
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    sys.send_uplink_at(1_ms * (2 * i) + Nanos{static_cast<std::int64_t>(rng.uniform() * 5e5)});
+    sys.send_downlink_at(1_ms * (2 * i + 1) +
+                         Nanos{static_cast<std::int64_t>(rng.uniform() * 5e5)});
+  }
+  sys.run_until(1_ms * 450);
+  auto ul = sys.latency_samples_us(Direction::Uplink);
+  auto dl = sys.latency_samples_us(Direction::Downlink);
+  std::printf("\nsimulated URLLC design point (DM, grant-free, PCIe radio, RT kernel):\n");
+  std::printf("  UL: mean %.0f us, p99 %.0f us (%zu packets)\n", ul.mean(), ul.quantile(0.99),
+              ul.count());
+  std::printf("  DL: mean %.0f us, p99 %.0f us (%zu packets)\n", dl.mean(), dl.quantile(0.99),
+              dl.count());
+  return 0;
+}

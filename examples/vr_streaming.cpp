@@ -1,0 +1,73 @@
+// Example: cloud VR / AR streaming — the paper's intro motivates URLLC with
+// "virtual and augmented reality (VR/AR)" [24] and low-latency benefits to
+// gaming [44, 51]. A renderer in the edge cloud streams video frames
+// *downlink* to a headset UE at 90 fps; each frame is far larger than one
+// transport block, so RLC segments it across several DL windows and the
+// frame is usable only when its last segment lands (motion-to-photon
+// budget).
+
+#include <cstdio>
+
+#include "core/e2e_system.hpp"
+#include "core/reliability.hpp"
+
+using namespace u5g;
+using namespace u5g::literals;
+
+namespace {
+
+constexpr int kFrames = 400;
+constexpr Nanos kFramePeriod{11'111'111};  // 90 fps
+
+struct Outcome {
+  std::size_t delivered;
+  double mean_ms;
+  double p99_ms;
+  double in_budget_frac;
+};
+
+Outcome run(E2eConfig cfg, std::size_t frame_bytes, Nanos budget) {
+  cfg.payload_bytes = frame_bytes;
+  cfg.dl_tb_slack = 256;
+  E2eSystem sys(std::move(cfg));
+  for (int i = 0; i < kFrames; ++i) {
+    sys.send_downlink_at(kFramePeriod * i);
+  }
+  sys.run_until(kFramePeriod * (kFrames + 30));
+  auto lat = sys.latency_samples_us(Direction::Downlink);
+  const auto rel = evaluate_reliability(lat, kFrames, budget);
+  return {lat.count(), lat.mean() / 1e3, lat.quantile(0.99) / 1e3, rel.fraction_within};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Cloud VR streaming: 90 fps downlink frames, motion-to-photon budget ==\n\n");
+  const Nanos budget = 8_ms;  // per-frame link budget within ~20 ms motion-to-photon
+  std::printf("frame budget on the link: %.0f ms; %d frames per run\n\n", budget.ms(), kFrames);
+  std::printf("   %-30s %10s | %9s %9s %12s\n", "configuration", "frame", "mean[ms]",
+              "p99[ms]", "in-budget");
+
+  struct Case {
+    const char* label;
+    E2eConfig cfg;
+    std::size_t frame_bytes;
+  };
+  Case cases[] = {
+      {"testbed, 2 KB slices", E2eConfig::testbed(true, 81), 2'000},
+      {"testbed, 12 KB frames", E2eConfig::testbed(true, 82), 12'000},
+      {"URLLC design, 2 KB slices", E2eConfig::urllc_design(83), 2'000},
+      {"URLLC design, 12 KB frames", E2eConfig::urllc_design(84), 12'000},
+  };
+
+  for (auto& c : cases) {
+    const Outcome o = run(std::move(c.cfg), c.frame_bytes, budget);
+    std::printf("   %-30s %7zu B | %9.2f %9.2f %11.1f%%\n", c.label, c.frame_bytes,
+                o.mean_ms, o.p99_ms, o.in_budget_frac * 100);
+  }
+
+  std::printf("\nlarge frames segment across DL windows (watch mean grow with frame size);\n"
+              "slicing the encoder output into smaller application units rides each DL\n"
+              "window as it comes — the same protocol-geometry lesson as §5, applied to AR.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Plot the paper's figures from the CSV artifacts the benches emit.
+
+Usage:
+    mkdir -p artifacts
+    ./build/bench/bench_fig5 artifacts
+    ./build/bench/bench_fig6 artifacts
+    python3 scripts/plot_figures.py artifacts
+
+Writes fig5.png and fig6.png next to the CSVs. Requires matplotlib.
+"""
+
+import csv
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+
+def plot_fig5(directory: Path, plt) -> None:
+    path = directory / "fig5.csv"
+    if not path.exists():
+        print(f"skip: {path} not found (run bench_fig5 {directory})")
+        return
+    series = defaultdict(lambda: ([], [], []))  # bus -> (samples, mean, p99)
+    with open(path) as f:
+        for row in csv.DictReader(f):
+            s = series[row["bus"]]
+            s[0].append(int(row["samples"]))
+            s[1].append(float(row["mean_us"]))
+            s[2].append(float(row["p99_us"]))
+
+    fig, ax = plt.subplots(figsize=(6, 4))
+    for bus, (xs, mean, p99) in series.items():
+        ax.plot(xs, mean, marker="o", label=f"{bus} (mean)")
+        ax.plot(xs, p99, linestyle="--", alpha=0.5, label=f"{bus} (p99)")
+    ax.set_xlabel("Number of submitted samples")
+    ax.set_ylabel("Latency (µs)")
+    ax.set_title("Fig 5: radio sample-submission latency")
+    ax.legend(fontsize=8)
+    ax.grid(alpha=0.3)
+    out = directory / "fig5.png"
+    fig.savefig(out, dpi=150, bbox_inches="tight")
+    print(f"wrote {out}")
+
+
+def plot_fig6(directory: Path, plt) -> None:
+    fig, axes = plt.subplots(1, 2, figsize=(10, 4), sharey=True)
+    titles = {"fig6a.csv": "(a) grant-based", "fig6b.csv": "(b) grant-free"}
+    any_found = False
+    for ax, (name, title) in zip(axes, titles.items()):
+        path = directory / name
+        if not path.exists():
+            print(f"skip: {path} not found (run bench_fig6 {directory})")
+            continue
+        any_found = True
+        xs, dl, ul = [], [], []
+        with open(path) as f:
+            for row in csv.DictReader(f):
+                xs.append(float(row["bin_start_ms"]))
+                dl.append(float(row["dl_probability"]))
+                ul.append(float(row["ul_probability"]))
+        width = xs[1] - xs[0] if len(xs) > 1 else 0.25
+        ax.bar(xs, dl, width=width * 0.9, align="edge", alpha=0.6, label="Downlink")
+        ax.bar(xs, ul, width=width * 0.9, align="edge", alpha=0.6, label="Uplink")
+        ax.set_xlabel("One-way latency (ms)")
+        ax.set_title(title)
+        ax.legend()
+        ax.grid(alpha=0.3)
+    if any_found:
+        axes[0].set_ylabel("Probability")
+        out = directory / "fig6.png"
+        fig.savefig(out, dpi=150, bbox_inches="tight")
+        print(f"wrote {out}")
+
+
+def main() -> int:
+    directory = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("artifacts")
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available; CSVs remain usable with any plotting tool")
+        return 1
+    plot_fig5(directory, plt)
+    plot_fig6(directory, plt)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

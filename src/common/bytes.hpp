@@ -1,0 +1,94 @@
+#pragma once
+// Byte-buffer type for PDUs moving through the stack.
+//
+// Protocol layers prepend/strip headers; `Packet` models that with explicit
+// push/pop operations and carries metadata (creation time, per-category
+// latency accounting) used by the journey tracer.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace u5g {
+
+/// Growable byte sequence with cheap header prepend via front reserve.
+class ByteBuffer {
+ public:
+  ByteBuffer() = default;
+  explicit ByteBuffer(std::size_t payload_size, std::uint8_t fill = 0)
+      : data_(kHeadroom + payload_size, fill), begin_(kHeadroom) {}
+
+  static ByteBuffer from_bytes(std::span<const std::uint8_t> bytes) {
+    ByteBuffer b(bytes.size());
+    std::copy(bytes.begin(), bytes.end(), b.data_.begin() + static_cast<std::ptrdiff_t>(b.begin_));
+    return b;
+  }
+
+  [[nodiscard]] std::size_t size() const { return data_.size() - begin_; }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  [[nodiscard]] std::span<std::uint8_t> bytes() { return {data_.data() + begin_, size()}; }
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const { return {data_.data() + begin_, size()}; }
+
+  /// Prepend `header` in front of the current contents.
+  void push_header(std::span<const std::uint8_t> header) {
+    if (header.size() > begin_) {
+      // Re-reserve headroom: rare, only for pathological header stacks.
+      std::vector<std::uint8_t> grown(kHeadroom + header.size() + size());
+      std::copy(data_.begin() + static_cast<std::ptrdiff_t>(begin_), data_.end(),
+                grown.begin() + static_cast<std::ptrdiff_t>(kHeadroom + header.size()));
+      data_ = std::move(grown);
+      begin_ = kHeadroom + header.size();
+    }
+    begin_ -= header.size();
+    std::copy(header.begin(), header.end(), data_.begin() + static_cast<std::ptrdiff_t>(begin_));
+  }
+
+  /// Remove and return a view of the first `n` bytes.
+  /// Throws std::length_error if the buffer is shorter than `n`.
+  std::span<const std::uint8_t> pop_header(std::size_t n) {
+    if (n > size()) throw std::length_error{"ByteBuffer::pop_header past end"};
+    std::span<const std::uint8_t> h{data_.data() + begin_, n};
+    begin_ += n;
+    return h;
+  }
+
+  /// Remove `n` bytes from the end (strip trailer / truncate).
+  void truncate_back(std::size_t n) {
+    if (n > size()) throw std::length_error{"ByteBuffer::truncate_back past end"};
+    data_.resize(data_.size() - n);
+  }
+
+  /// Append bytes at the end.
+  void append(std::span<const std::uint8_t> tail) {
+    data_.insert(data_.end(), tail.begin(), tail.end());
+  }
+
+ private:
+  static constexpr std::size_t kHeadroom = 64;
+  std::vector<std::uint8_t> data_ = std::vector<std::uint8_t>(kHeadroom);
+  std::size_t begin_ = kHeadroom;
+};
+
+/// Big-endian integer encode/decode helpers for protocol headers.
+inline void put_be16(std::span<std::uint8_t> out, std::uint16_t v) {
+  out[0] = static_cast<std::uint8_t>(v >> 8);
+  out[1] = static_cast<std::uint8_t>(v);
+}
+inline void put_be32(std::span<std::uint8_t> out, std::uint32_t v) {
+  out[0] = static_cast<std::uint8_t>(v >> 24);
+  out[1] = static_cast<std::uint8_t>(v >> 16);
+  out[2] = static_cast<std::uint8_t>(v >> 8);
+  out[3] = static_cast<std::uint8_t>(v);
+}
+[[nodiscard]] inline std::uint16_t get_be16(std::span<const std::uint8_t> in) {
+  return static_cast<std::uint16_t>((in[0] << 8) | in[1]);
+}
+[[nodiscard]] inline std::uint32_t get_be32(std::span<const std::uint8_t> in) {
+  return (static_cast<std::uint32_t>(in[0]) << 24) | (static_cast<std::uint32_t>(in[1]) << 16) |
+         (static_cast<std::uint32_t>(in[2]) << 8) | static_cast<std::uint32_t>(in[3]);
+}
+
+}  // namespace u5g

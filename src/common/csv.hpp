@@ -1,0 +1,70 @@
+#pragma once
+// Minimal CSV writer for the benchmark harnesses: every figure bench can
+// dump its series as CSV (pass an output directory as argv[1]) so the
+// paper's plots are regenerable with any plotting tool.
+
+#include <fstream>
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace u5g {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  CsvWriter(const std::string& path, std::vector<std::string> header) : out_(path) {
+    if (!out_) throw std::runtime_error{"CsvWriter: cannot open " + path};
+    columns_ = header.size();
+    bool first = true;
+    for (const std::string& h : header) {
+      if (!first) out_ << ',';
+      out_ << escape(h);
+      first = false;
+    }
+    out_ << '\n';
+  }
+
+  /// One data row; must match the header's column count.
+  void row(std::initializer_list<double> values) {
+    if (values.size() != columns_)
+      throw std::invalid_argument{"CsvWriter: column count mismatch"};
+    bool first = true;
+    for (double v : values) {
+      if (!first) out_ << ',';
+      out_ << v;
+      first = false;
+    }
+    out_ << '\n';
+  }
+
+  /// Mixed row of pre-rendered cells.
+  void row(const std::vector<std::string>& cells) {
+    if (cells.size() != columns_)
+      throw std::invalid_argument{"CsvWriter: column count mismatch"};
+    bool first = true;
+    for (const std::string& c : cells) {
+      if (!first) out_ << ',';
+      out_ << escape(c);
+      first = false;
+    }
+    out_ << '\n';
+  }
+
+ private:
+  static std::string escape(const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string q = "\"";
+    for (char c : s) {
+      if (c == '"') q += '"';
+      q += c;
+    }
+    return q + "\"";
+  }
+
+  std::ofstream out_;
+  std::size_t columns_ = 0;
+};
+
+}  // namespace u5g

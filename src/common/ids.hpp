@@ -1,0 +1,44 @@
+#pragma once
+// Strongly-typed identifiers for network entities. Distinct types prevent
+// accidentally passing a UE id where a HARQ process id is expected.
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace u5g {
+
+template <typename Tag>
+class Id {
+ public:
+  constexpr Id() = default;
+  constexpr explicit Id(std::uint32_t v) : v_(v) {}
+  [[nodiscard]] constexpr std::uint32_t value() const { return v_; }
+  friend constexpr auto operator<=>(Id, Id) = default;
+
+ private:
+  std::uint32_t v_ = 0;
+};
+
+struct UeTag {};
+struct CellTag {};
+struct PacketTag {};
+struct HarqTag {};
+struct QosFlowTag {};
+struct BearerTag {};
+
+using UeId = Id<UeTag>;
+using CellId = Id<CellTag>;
+using PacketId = Id<PacketTag>;
+using HarqId = Id<HarqTag>;
+using QosFlowId = Id<QosFlowTag>;
+using BearerId = Id<BearerTag>;
+
+}  // namespace u5g
+
+template <typename Tag>
+struct std::hash<u5g::Id<Tag>> {
+  std::size_t operator()(u5g::Id<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};

@@ -1,0 +1,48 @@
+#pragma once
+// Leveled logging with a simulated-time-aware prefix. Off by default in
+// benches/tests; examples turn on Info to narrate the packet journey.
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "common/time.hpp"
+
+namespace u5g {
+
+enum class LogLevel : int { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Process-global log configuration (single-threaded simulator: no locking).
+class Log {
+ public:
+  static LogLevel& level() {
+    static LogLevel lvl = LogLevel::Off;
+    return lvl;
+  }
+
+  static bool enabled(LogLevel lvl) { return static_cast<int>(lvl) >= static_cast<int>(level()); }
+
+  template <typename... Args>
+  static void write(LogLevel lvl, Nanos now, const char* component, const char* format,
+                    Args&&... args) {
+    if (!enabled(lvl)) return;
+    std::fprintf(stderr, "[%12s] %-5s %-8s ", to_string(now).c_str(), name(lvl), component);
+    std::fprintf(stderr, format, std::forward<Args>(args)...);  // NOLINT(cert-err33-c)
+    std::fputc('\n', stderr);
+  }
+
+ private:
+  static const char* name(LogLevel lvl) {
+    switch (lvl) {
+      case LogLevel::Trace: return "TRACE";
+      case LogLevel::Debug: return "DEBUG";
+      case LogLevel::Info:  return "INFO";
+      case LogLevel::Warn:  return "WARN";
+      case LogLevel::Error: return "ERROR";
+      case LogLevel::Off:   return "OFF";
+    }
+    return "?";
+  }
+};
+
+}  // namespace u5g

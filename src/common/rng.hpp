@@ -1,0 +1,120 @@
+#pragma once
+// Deterministic random number generation for the simulator.
+//
+// Every stochastic component (processing-time draws, OS jitter, channel loss,
+// traffic arrivals) pulls from an explicitly seeded `Rng`, so a simulation run
+// is exactly reproducible from its seed. The generator is xoshiro256**, which
+// is fast, has a 2^256-1 period, and passes BigCrush.
+
+#include <cstdint>
+#include <cmath>
+#include <numbers>
+
+namespace u5g {
+
+/// xoshiro256** pseudo-random generator with distribution helpers.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initialise state from `seed` via SplitMix64 (avoids all-zero state).
+  void reseed(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& word : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit word.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  std::uint64_t uniform_int(std::uint64_t n) {
+    // Lemire's nearly-divisionless bounded generation.
+    __uint128_t m = static_cast<__uint128_t>(next_u64()) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(next_u64()) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// true with probability `p` (clamped to [0,1]).
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Standard normal via Box-Muller (no cached spare: keeps state minimal).
+  double normal() {
+    double u1 = uniform();
+    while (u1 <= 0.0) u1 = uniform();
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Lognormal with the given *underlying* normal parameters.
+  double lognormal(double mu, double sigma) { return std::exp(normal(mu, sigma)); }
+
+  /// Exponential with the given mean (not rate).
+  double exponential(double mean) {
+    double u = uniform();
+    while (u <= 0.0) u = uniform();
+    return -mean * std::log(u);
+  }
+
+  /// Split off an independent stream (for per-component generators).
+  Rng fork() { return Rng{next_u64()}; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  std::uint64_t s_[4]{};
+};
+
+/// Parameters of a lognormal fitted so that the *distribution itself* has the
+/// given mean and standard deviation (moment matching). Used to calibrate
+/// per-layer processing times to the paper's Table 2.
+struct LognormalParams {
+  double mu = 0.0;
+  double sigma = 0.0;
+
+  /// Fit from target mean m > 0 and standard deviation s >= 0.
+  static LognormalParams from_mean_std(double m, double s) {
+    if (s <= 0.0) return {std::log(m), 0.0};
+    const double v = s * s;
+    const double sigma2 = std::log(1.0 + v / (m * m));
+    return {std::log(m) - 0.5 * sigma2, std::sqrt(sigma2)};
+  }
+
+  double sample(Rng& rng) const { return rng.lognormal(mu, sigma); }
+  [[nodiscard]] double mean() const { return std::exp(mu + 0.5 * sigma * sigma); }
+  [[nodiscard]] double stddev() const {
+    const double s2 = sigma * sigma;
+    return std::sqrt((std::exp(s2) - 1.0) * std::exp(2.0 * mu + s2));
+  }
+};
+
+}  // namespace u5g

@@ -1,0 +1,45 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace u5g {
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size() && i < width.size(); ++i)
+      width[i] = std::max(width[i], row[i].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < width.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string{};
+      out += cell;
+      out.append(width[i] - cell.size() + 2, ' ');
+    }
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+  };
+  emit(header_);
+  std::size_t rule = 0;
+  for (std::size_t w : width) rule += w + 2;
+  out.append(rule - 2, '-');
+  out += '\n';
+  for (const auto& r : rows_) emit(r);
+  return out;
+}
+
+std::string fmt(const char* format, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, format, value);
+  return buf;
+}
+
+std::string fmt2(double value) { return fmt("%.2f", value); }
+std::string fmt3(double value) { return fmt("%.3f", value); }
+
+}  // namespace u5g

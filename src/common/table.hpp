@@ -1,0 +1,31 @@
+#pragma once
+// Minimal ASCII table renderer used by the benchmark harnesses to print
+// paper-style tables (Table 1, Table 2) and figure series.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace u5g {
+
+/// Column-aligned text table. Rows are added as string cells; `render`
+/// pads every column to its widest cell and separates header from body.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting into std::string (reporting helper).
+[[nodiscard]] std::string fmt(const char* format, double value);
+[[nodiscard]] std::string fmt2(double value);   ///< "%.2f"
+[[nodiscard]] std::string fmt3(double value);   ///< "%.3f"
+
+}  // namespace u5g

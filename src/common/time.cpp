@@ -1,0 +1,24 @@
+#include "common/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace u5g {
+
+std::string to_string(Nanos t) {
+  char buf[48];
+  const std::int64_t v = t.count();
+  const std::int64_t a = v < 0 ? -v : v;
+  if (a < 1'000) {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(v));
+  } else if (a < 1'000'000) {
+    std::snprintf(buf, sizeof buf, "%.3fus", static_cast<double>(v) / 1e3);
+  } else if (a < 1'000'000'000) {
+    std::snprintf(buf, sizeof buf, "%.3fms", static_cast<double>(v) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3fs", static_cast<double>(v) / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace u5g

@@ -1,0 +1,80 @@
+#pragma once
+// Latency-budget analysis — §5's closing requirement made checkable:
+// "for all viable configurations, the radio and processing latency should
+// be less than one slot. If this threshold is not met, an additional slot
+// is missed, leading to a deadline violation. To meet the requirements for
+// (i) UL and DL MAC scheduling, (ii) UL PHY decoding and DL preparation,
+// and (iii) both UL and DL radio latency, it is essential to provide a
+// real-world system capable of achieving these benchmarks."
+//
+// Given a duplex configuration and a deadline, the analyzer computes the
+// protocol floor (nothing a better computer can fix) and the remaining
+// budget; given a concrete platform (processing profile + radio heads) it
+// verifies each §5 requirement and reports the verdict per item.
+
+#include <string>
+#include <vector>
+
+#include "core/latency_model.hpp"
+#include "os/proc_time.hpp"
+#include "radio/radio_head.hpp"
+#include "tdd/duplex_config.hpp"
+
+namespace u5g {
+
+/// The protocol floor and what is left of the deadline.
+struct LatencyBudget {
+  AccessMode mode{};
+  Nanos deadline{};
+  Nanos protocol_floor{};   ///< worst-case latency with a zero-cost stack
+  Nanos remaining{};        ///< deadline - protocol_floor (clamped at 0)
+  bool protocol_feasible = false;  ///< floor fits the deadline at all
+};
+
+/// Compute the budget for one (configuration, access mode, deadline).
+[[nodiscard]] LatencyBudget compute_budget(const DuplexConfig& cfg, AccessMode mode,
+                                           Nanos deadline = kUrllcOneWayDeadline,
+                                           int data_tx_symbols = 2);
+
+/// A concrete platform to check against the §5 requirements.
+struct Platform {
+  std::string name;
+  ProcessingProfile gnb_proc;
+  ProcessingProfile ue_proc;
+  RadioHeadParams gnb_radio;
+  RadioHeadParams ue_radio;
+  /// Processing tail to budget for (mean + k·std per layer); URLLC's
+  /// reliability target makes the tail, not the mean, the binding figure.
+  double sigma_factor = 3.0;
+
+  static Platform software_testbed();   ///< §7: i7 + modem + USB B210
+  static Platform software_tuned();     ///< i7 both ends + PCIe + RT kernel
+  static Platform hardware_asic();      ///< the footnote-1 ASIC strawman
+};
+
+/// One §5 requirement line-item with its verdict.
+struct BudgetItem {
+  std::string label;
+  Nanos cost{};
+  Nanos threshold{};
+  bool within = false;
+};
+
+/// The full §5 check of a platform against a configuration.
+struct BudgetReport {
+  LatencyBudget budget;
+  std::vector<BudgetItem> items;
+  bool all_within = false;       ///< every §5 item fits one slot
+  bool meets_deadline = false;   ///< protocol floor + platform tail <= deadline
+  Nanos projected_worst{};       ///< floor + per-slot-hidden platform cost
+};
+
+/// Check `platform` on `cfg` for `mode`. The §5 threshold for every item is
+/// one slot: costs that fit within a slot are hidden by pipelining (the
+/// scheduler leads by whole slots); costs that exceed it leak extra slots
+/// into the worst case.
+[[nodiscard]] BudgetReport check_platform(const DuplexConfig& cfg, AccessMode mode,
+                                          const Platform& platform,
+                                          Nanos deadline = kUrllcOneWayDeadline);
+
+}  // namespace u5g

@@ -1,0 +1,72 @@
+#include "core/design_space.hpp"
+
+#include "tdd/common_config.hpp"
+#include "tdd/fdd.hpp"
+#include "tdd/mini_slot.hpp"
+
+namespace u5g {
+
+namespace {
+
+/// All minimal-pattern TDD candidates plus mini-slot and FDD at µ.
+std::vector<std::unique_ptr<DuplexConfig>> candidates_at(Numerology num) {
+  std::vector<std::unique_ptr<DuplexConfig>> v;
+  // The minimal 0.5 ms TDD period only exists where it is an integer number
+  // of slots >= 2 (µ >= 1; at µ1 the 0.5 ms period is a single slot, which
+  // cannot hold a D and a U part as separate slots — only the mixed forms).
+  const int slots_in_half_ms = static_cast<int>(Nanos{500'000} / num.slot_duration());
+  if (slots_in_half_ms >= 2) {
+    v.push_back(std::make_unique<TddCommonConfig>(TddCommonConfig::du(num)));
+    v.push_back(std::make_unique<TddCommonConfig>(TddCommonConfig::dm(num)));
+    v.push_back(std::make_unique<TddCommonConfig>(TddCommonConfig::mu(num)));
+  }
+  v.push_back(std::make_unique<MiniSlotConfig>(num, 2));
+  v.push_back(std::make_unique<FddConfig>(num));
+  return v;
+}
+
+}  // namespace
+
+std::vector<DesignPoint> explore_design_space(const DesignSpaceOptions& opt) {
+  std::vector<DesignPoint> out;
+  std::vector<Numerology> nums;
+  if (opt.fr1_only) {
+    for (Numerology n : numerologies_in_fr1()) nums.push_back(n);
+  } else {
+    for (int mu = 0; mu <= 6; ++mu) nums.push_back(Numerology{mu});
+  }
+
+  for (Numerology num : nums) {
+    for (const auto& cfg : candidates_at(num)) {
+      const auto dl = analyze_worst_case(*cfg, AccessMode::Downlink, opt.model);
+      for (AccessMode ul : {AccessMode::GrantFreeUl, AccessMode::GrantBasedUl}) {
+        const auto wc = analyze_worst_case(*cfg, ul, opt.model);
+        DesignPoint pt;
+        pt.config_name = cfg->name();
+        pt.mu = num.mu();
+        pt.ul_mode = ul;
+        pt.worst_ul = wc.worst;
+        pt.worst_dl = dl.worst;
+        pt.meets_deadline = wc.feasible && dl.feasible && wc.worst <= opt.deadline &&
+                            dl.worst <= opt.deadline;
+        pt.available_to_private_5g = dynamic_cast<const FddConfig*>(cfg.get()) == nullptr;
+        if (const auto* ms = dynamic_cast<const MiniSlotConfig*>(cfg.get())) {
+          pt.standards_caveat = ms->violates_standard_recommendation();
+        }
+        pt.processing_radio_budget = num.slot_duration();
+        out.push_back(pt);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<DesignPoint> viable_designs(const DesignSpaceOptions& opt) {
+  std::vector<DesignPoint> v;
+  for (DesignPoint& pt : explore_design_space(opt)) {
+    if (pt.meets_deadline) v.push_back(pt);
+  }
+  return v;
+}
+
+}  // namespace u5g

@@ -1,0 +1,55 @@
+#include "core/feasibility.hpp"
+
+#include <stdexcept>
+
+#include "tdd/common_config.hpp"
+#include "tdd/fdd.hpp"
+#include "tdd/mini_slot.hpp"
+
+namespace u5g {
+
+const FeasibilityCell& FeasibilityColumn::cell(AccessMode m) const {
+  for (const FeasibilityCell& c : cells) {
+    if (c.mode == m) return c;
+  }
+  throw std::out_of_range{"FeasibilityColumn: mode not evaluated"};
+}
+
+FeasibilityColumn evaluate_config(const DuplexConfig& cfg, Nanos deadline,
+                                  const LatencyModelParams& p) {
+  FeasibilityColumn col;
+  col.config_name = cfg.name();
+  col.period_render = cfg.render_period();
+  for (AccessMode m : {AccessMode::GrantBasedUl, AccessMode::GrantFreeUl, AccessMode::Downlink}) {
+    FeasibilityCell cell;
+    cell.mode = m;
+    cell.worst_case = analyze_worst_case(cfg, m, p);
+    cell.deadline = deadline;
+    cell.meets_deadline = cell.worst_case.feasible && cell.worst_case.worst <= deadline;
+    col.cells.push_back(cell);
+  }
+  if (const auto* ms = dynamic_cast<const MiniSlotConfig*>(&cfg)) {
+    col.standards_caveat = ms->violates_standard_recommendation();
+  }
+  return col;
+}
+
+std::vector<std::unique_ptr<DuplexConfig>> table1_configs() {
+  std::vector<std::unique_ptr<DuplexConfig>> cfgs;
+  cfgs.push_back(std::make_unique<TddCommonConfig>(TddCommonConfig::du(kMu2)));
+  cfgs.push_back(std::make_unique<TddCommonConfig>(TddCommonConfig::dm(kMu2)));
+  cfgs.push_back(std::make_unique<TddCommonConfig>(TddCommonConfig::mu(kMu2)));
+  cfgs.push_back(std::make_unique<MiniSlotConfig>(kMu2, 2));
+  cfgs.push_back(std::make_unique<FddConfig>(kMu2));
+  return cfgs;
+}
+
+Table1 build_table1(Nanos deadline, const LatencyModelParams& p) {
+  Table1 t;
+  for (const auto& cfg : table1_configs()) {
+    t.columns.push_back(evaluate_config(*cfg, deadline, p));
+  }
+  return t;
+}
+
+}  // namespace u5g

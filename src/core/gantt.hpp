@@ -1,0 +1,35 @@
+#pragma once
+// ASCII Gantt rendering of transmission timelines over the slot map —
+// Fig 3's visual language ("Overview of the system-level latency for the
+// journey of a packet") as a terminal artifact.
+//
+// Two aligned tracks: the duplex configuration's slot structure (D/U/guard
+// per symbol) and the packet's timeline steps, one row per step, with the
+// paper's three latency categories marked distinctly.
+
+#include <string>
+
+#include "core/journey.hpp"
+#include "core/latency_model.hpp"
+#include "tdd/duplex_config.hpp"
+
+namespace u5g {
+
+struct GanttOptions {
+  int columns = 96;            ///< character width of the time axis
+  bool show_slot_track = true; ///< render the D/U/- structure track
+  bool show_legend = true;
+};
+
+/// Render one timeline against the configuration's slot structure.
+/// The time axis spans [timeline.arrival, timeline.completion], snapped
+/// outward to slot boundaries so the slot track is meaningful.
+[[nodiscard]] std::string render_gantt(const DuplexConfig& cfg, const Timeline& timeline,
+                                       const GanttOptions& opt = {});
+
+/// Render a full ping journey: uplink, core hop, downlink, stacked on one
+/// axis (Fig 3's full picture).
+[[nodiscard]] std::string render_gantt(const DuplexConfig& cfg, const PingJourney& journey,
+                                       const GanttOptions& opt = {});
+
+}  // namespace u5g

@@ -1,0 +1,39 @@
+#include "core/journey.hpp"
+
+namespace u5g {
+
+Nanos PingJourney::category_total(LatencyCategory c) const {
+  Nanos t = uplink.category_total(c) + downlink.category_total(c);
+  if (c == LatencyCategory::Processing) t += turnaround;
+  if (c == LatencyCategory::Protocol) t += core_uplink + core_downlink;
+  return t;
+}
+
+std::string PingJourney::render() const {
+  std::string out;
+  out += "ping request (uplink):\n" + uplink.render();
+  out += "core network uplink (gNB -> UPF -> host): " + to_string(core_uplink) + "\n";
+  out += "host turnaround: " + to_string(turnaround) + "\n";
+  out += "core network downlink (host -> UPF -> gNB): " + to_string(core_downlink) + "\n";
+  out += "ping reply (downlink):\n" + downlink.render();
+  out += "round trip: " + to_string(rtt) + "\n";
+  return out;
+}
+
+PingJourney trace_ping(const DuplexConfig& cfg, Nanos request_time, const JourneyParams& p) {
+  PingJourney j;
+  j.uplink = trace_transmission(
+      cfg, p.grant_free ? AccessMode::GrantFreeUl : AccessMode::GrantBasedUl, request_time, p.ran);
+
+  j.core_uplink = p.backhaul + p.upf_latency;
+  j.turnaround = p.server_turnaround;
+  j.core_downlink = p.backhaul + p.upf_latency;
+
+  const Nanos reply_at_gnb =
+      j.uplink.completion + j.core_uplink + j.turnaround + j.core_downlink;
+  j.downlink = trace_transmission(cfg, AccessMode::Downlink, reply_at_gnb, p.ran);
+  j.rtt = j.downlink.completion - request_time;
+  return j;
+}
+
+}  // namespace u5g

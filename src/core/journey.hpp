@@ -1,0 +1,43 @@
+#pragma once
+// "Journey of a Packet" (§3, Figs 2-3): the full ping round trip — uplink
+// request with the SR/grant handshake (or grant-free), core-network hop,
+// downlink reply — decomposed into the paper's numbered steps and its three
+// latency categories.
+
+#include <string>
+#include <vector>
+
+#include "core/latency_model.hpp"
+#include "tdd/duplex_config.hpp"
+
+namespace u5g {
+
+/// Extra (non-RAN) parameters of the ping journey.
+struct JourneyParams {
+  LatencyModelParams ran;         ///< RAN timing model (§5 semantics)
+  Nanos upf_latency{15'000};      ///< UPF decap/forward
+  Nanos backhaul{50'000};         ///< gNB <-> UPF link, one-way
+  Nanos server_turnaround{5'000}; ///< destination generates the reply
+  bool grant_free = false;
+};
+
+/// The assembled round trip.
+struct PingJourney {
+  Timeline uplink;          ///< UE APP -> gNB SDAP (request)
+  Nanos core_uplink{};      ///< gNB -> UPF -> destination
+  Nanos turnaround{};       ///< destination processing
+  Nanos core_downlink{};    ///< destination -> UPF -> gNB
+  Timeline downlink;        ///< gNB SDAP -> UE APP (reply)
+  Nanos rtt{};
+
+  /// Category totals across the whole round trip (Fig 3's decomposition).
+  [[nodiscard]] Nanos category_total(LatencyCategory c) const;
+  /// Render the full numbered step list, paper-style.
+  [[nodiscard]] std::string render() const;
+};
+
+/// Trace one ping transmitted at `request_time`.
+[[nodiscard]] PingJourney trace_ping(const DuplexConfig& cfg, Nanos request_time,
+                                     const JourneyParams& p = {});
+
+}  // namespace u5g

@@ -1,0 +1,52 @@
+#include "core/multi_ue_model.hpp"
+
+#include "tdd/opportunity.hpp"
+
+namespace u5g {
+
+double ul_windows_per_second(const DuplexConfig& cfg, int tx_symbols) {
+  // Walk one period, packing windows back-to-back greedily (exactly what the
+  // scheduler's serialisation achieves).
+  const Nanos period = cfg.period();
+  const Nanos base = period * 4;  // stay clear of t=0 edge effects
+  int count = 0;
+  Nanos t = base;
+  while (true) {
+    const auto w = next_ul_tx(cfg, t, tx_symbols, period * 2);
+    if (!w || w->start >= base + period) break;
+    ++count;
+    t = w->end;
+  }
+  return count * (1e9 / static_cast<double>(period.count()));
+}
+
+MultiUeModelResult predict_multi_ue_latency(const DuplexConfig& cfg,
+                                            const MultiUeModelInput& in) {
+  MultiUeModelResult r;
+  r.capacity_windows_per_s = ul_windows_per_second(cfg, in.tx_symbols);
+
+  LatencyModelParams p = in.params;
+  p.data_tx_symbols = in.tx_symbols;
+  const WorstCaseResult wc = analyze_worst_case(cfg, in.mode, p);
+  r.protocol_mean = wc.mean;
+
+  const double lambda = in.num_ues * in.per_ue_packets_per_second;
+  if (r.capacity_windows_per_s <= 0.0) {
+    r.stable = false;
+    return r;
+  }
+  r.utilisation = lambda / r.capacity_windows_per_s;
+  if (r.utilisation >= 1.0) {
+    r.stable = false;
+    r.total_mean = Nanos::max();
+    return r;
+  }
+  // M/D/1: Wq = rho / (2 mu (1 - rho)), mu in windows/second.
+  const double wq_seconds =
+      r.utilisation / (2.0 * r.capacity_windows_per_s * (1.0 - r.utilisation));
+  r.queue_wait_mean = Nanos{static_cast<std::int64_t>(wq_seconds * 1e9)};
+  r.total_mean = r.protocol_mean + r.queue_wait_mean;
+  return r;
+}
+
+}  // namespace u5g

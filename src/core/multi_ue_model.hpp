@@ -1,0 +1,55 @@
+#pragma once
+// Analytical multi-UE latency model — §9's open problem, implemented:
+// "a key research problem is how to mathematically model the latency for
+// multiple UEs in the end-to-end 5G network stack."
+//
+// Model: N UEs offer Poisson traffic at per-UE rate λ. Uplink service is a
+// slotted single server: the duplex configuration provides C transmission
+// windows per second (each `tx_symbols` long, serialised — one UE per
+// window, as the scheduler's booking does). The sojourn decomposes as
+//
+//     W  =  W_protocol + W_queue
+//
+// where W_protocol is the single-UE mean protocol latency (from the §5
+// analytic engine: waiting for opportunities, SR/grant handshake) and
+// W_queue is the M/D/1 waiting time of the contention queue:
+//
+//     ρ = N λ / C,          W_queue = ρ / (2 C (1 − ρ)).
+//
+// Validity: ρ < 1; accuracy degrades near saturation (the simulation is the
+// referee — see MultiUeModelTest.MatchesSimulation).
+
+#include <memory>
+
+#include "core/latency_model.hpp"
+#include "tdd/duplex_config.hpp"
+
+namespace u5g {
+
+/// Capacity of a duplex configuration's uplink: how many non-overlapping
+/// `tx_symbols`-long transmission windows exist per second (serialised
+/// back-to-back within UL regions).
+[[nodiscard]] double ul_windows_per_second(const DuplexConfig& cfg, int tx_symbols);
+
+struct MultiUeModelInput {
+  int num_ues = 1;
+  double per_ue_packets_per_second = 100.0;
+  int tx_symbols = 2;
+  AccessMode mode = AccessMode::GrantFreeUl;
+  LatencyModelParams params{};
+};
+
+struct MultiUeModelResult {
+  double utilisation = 0.0;        ///< ρ
+  Nanos protocol_mean{};           ///< single-UE mean from the analytic engine
+  Nanos queue_wait_mean{};         ///< M/D/1 waiting time
+  Nanos total_mean{};              ///< protocol + queue
+  bool stable = true;              ///< ρ < 1
+  double capacity_windows_per_s = 0.0;
+};
+
+/// Closed-form prediction of the mean uplink latency for N UEs.
+[[nodiscard]] MultiUeModelResult predict_multi_ue_latency(const DuplexConfig& cfg,
+                                                          const MultiUeModelInput& in);
+
+}  // namespace u5g

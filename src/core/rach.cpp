@@ -1,0 +1,115 @@
+#include "core/rach.hpp"
+
+#include "tdd/opportunity.hpp"
+
+namespace u5g {
+
+namespace {
+
+void push(Timeline& tl, const char* label, Nanos a, Nanos b, LatencyCategory c) {
+  if (b > a) tl.steps.push_back(TimelineStep{label, a, b, c});
+}
+
+/// First PRACH occasion at or after `t`: the first UL window of
+/// `preamble_symbols` after the next PRACH grid point (the grid anchors the
+/// occasion within each period).
+std::optional<TxWindow> next_prach(const DuplexConfig& cfg, Nanos t, const RachConfig& rc) {
+  const Nanos this_grid = align_down(t, rc.prach_periodicity);
+  const auto w = next_ul_tx(cfg, this_grid, rc.preamble_symbols);
+  if (w && w->start >= t) return w;
+  Nanos from = align_up(t, rc.prach_periodicity);
+  if (from == t) from = t + rc.prach_periodicity;
+  return next_ul_tx(cfg, from, rc.preamble_symbols);
+}
+
+}  // namespace
+
+Timeline trace_random_access(const DuplexConfig& cfg, Nanos t, const RachConfig& rc) {
+  Timeline tl;
+  tl.arrival = t;
+
+  // msg1: preamble at the next PRACH occasion.
+  const auto msg1 = next_prach(cfg, t, rc);
+  if (!msg1) {
+    tl.completion = t;
+    tl.feasible = false;
+    return tl;
+  }
+  push(tl, "wait for PRACH occasion", t, msg1->start, LatencyCategory::Protocol);
+  push(tl, "msg1: preamble over the air", msg1->start, msg1->end, LatencyCategory::Protocol);
+
+  // msg2: RAR on the next DL data window after detection.
+  const Nanos detected = msg1->end + rc.gnb_detect;
+  push(tl, "gNB preamble detection + RAR build", msg1->end, detected,
+       LatencyCategory::Processing);
+  const auto msg2 = next_dl_data(cfg, detected);
+  if (!msg2) {
+    tl.completion = detected;
+    tl.feasible = false;
+    return tl;
+  }
+  push(tl, "wait for RAR window", detected, msg2->start, LatencyCategory::Protocol);
+  push(tl, "msg2: RAR over the air", msg2->start, msg2->end, LatencyCategory::Protocol);
+
+  if (rc.msg3_symbols == 0) {
+    // Two-step RACH: the exchange is complete.
+    tl.completion = msg2->end + rc.gnb_resolve;
+    push(tl, "contention resolution (2-step)", msg2->end, tl.completion,
+         LatencyCategory::Processing);
+    return tl;
+  }
+
+  // msg3: scheduled UL transmission after UE processing.
+  const Nanos msg3_ready = msg2->end + rc.ue_msg3_prep;
+  push(tl, "UE msg3 preparation", msg2->end, msg3_ready, LatencyCategory::Processing);
+  const auto msg3 = next_ul_tx(cfg, msg3_ready, rc.msg3_symbols);
+  if (!msg3) {
+    tl.completion = msg3_ready;
+    tl.feasible = false;
+    return tl;
+  }
+  push(tl, "wait for msg3 grant window", msg3_ready, msg3->start, LatencyCategory::Protocol);
+  push(tl, "msg3 over the air", msg3->start, msg3->end, LatencyCategory::Protocol);
+
+  // msg4: contention resolution on DL.
+  const Nanos resolved = msg3->end + rc.gnb_resolve;
+  push(tl, "gNB contention resolution", msg3->end, resolved, LatencyCategory::Processing);
+  const auto msg4 = next_dl_data(cfg, resolved);
+  if (!msg4) {
+    tl.completion = resolved;
+    tl.feasible = false;
+    return tl;
+  }
+  push(tl, "wait for msg4 window", resolved, msg4->start, LatencyCategory::Protocol);
+  push(tl, "msg4 over the air", msg4->start, msg4->end, LatencyCategory::Protocol);
+  tl.completion = msg4->end;
+  return tl;
+}
+
+WorstCaseResult analyze_rach_worst_case(const DuplexConfig& cfg, const RachConfig& rc,
+                                        int probes_per_period) {
+  WorstCaseResult r;
+  const Nanos base = align_up(cfg.period() * 8, rc.prach_periodicity);
+  double sum = 0.0;
+  int n = 0;
+  for (int i = 0; i < probes_per_period; ++i) {
+    const Nanos offset = rc.prach_periodicity * i / probes_per_period + Nanos{1};
+    const Timeline tl = trace_random_access(cfg, base + offset, rc);
+    if (!tl.feasible) {
+      r.feasible = false;
+      return r;
+    }
+    const Nanos lat = tl.latency();
+    if (lat > r.worst) {
+      r.worst = lat;
+      r.worst_arrival_offset = offset;
+    }
+    if (lat < r.best) r.best = lat;
+    sum += static_cast<double>(lat.count());
+    ++n;
+  }
+  if (n > 0) r.mean = Nanos{static_cast<std::int64_t>(sum / n)};
+  return r;
+}
+
+}  // namespace u5g

@@ -1,0 +1,50 @@
+#pragma once
+// Four-step random access (TS 38.321 §5.1) over a duplex configuration.
+//
+// The paper's analysis assumes a CONNECTED UE; a UE that has slipped to
+// IDLE/INACTIVE must first run RACH — msg1 (preamble on a PRACH occasion),
+// msg2 (random access response on DL), msg3 (scheduled transmission),
+// msg4 (contention resolution on DL) — before any URLLC packet can move.
+// This module traces that timeline with the same opportunity machinery and
+// quantifies why URLLC UEs must be *kept* connected (keep-alive traffic or
+// RRC_INACTIVE with pre-configured grants).
+
+#include <optional>
+
+#include "core/latency_model.hpp"
+#include "tdd/duplex_config.hpp"
+
+namespace u5g {
+
+struct RachConfig {
+  /// PRACH occasion spacing (prach-ConfigurationIndex: typically 10 ms; the
+  /// occasion itself must land on UL symbols).
+  Nanos prach_periodicity{10'000'000};
+  int preamble_symbols = 2;      ///< short preamble formats
+  Nanos gnb_detect{200'000};     ///< preamble detection + RAR scheduling
+  Nanos ue_msg3_prep{500'000};   ///< UE processing between RAR and msg3
+  int msg3_symbols = 2;
+  Nanos gnb_resolve{150'000};    ///< contention resolution processing
+  double collision_prob = 0.0;   ///< msg1 preamble collision (multi-UE)
+
+  static RachConfig typical() { return {}; }
+  /// Aggressive two-step-style timing floor (Rel-16 2-step RACH collapses
+  /// msg1+msg3 and msg2+msg4; modelled as halved handshakes).
+  static RachConfig two_step() {
+    return {Nanos{10'000'000}, 2, Nanos{150'000}, Nanos::zero(), 0, Nanos{100'000}, 0.0};
+  }
+};
+
+/// Trace the four-step procedure starting at `t` (UE decides to access).
+/// Returns the full timeline (steps categorised like the §4 taxonomy).
+/// `two_step` configs skip msg3/msg4 (folded into the first exchange).
+[[nodiscard]] Timeline trace_random_access(const DuplexConfig& cfg, Nanos t,
+                                           const RachConfig& rc = RachConfig::typical());
+
+/// Worst case over arrival offsets within one PRACH period.
+[[nodiscard]] WorstCaseResult analyze_rach_worst_case(const DuplexConfig& cfg,
+                                                      const RachConfig& rc =
+                                                          RachConfig::typical(),
+                                                      int probes_per_period = 64);
+
+}  // namespace u5g

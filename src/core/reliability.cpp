@@ -1,0 +1,29 @@
+#include "core/reliability.hpp"
+
+#include <cmath>
+
+namespace u5g {
+
+double reliability_nines(double fraction) {
+  if (fraction >= 1.0) return 9.0;
+  if (fraction <= 0.0) return 0.0;
+  return std::min(9.0, -std::log10(1.0 - fraction));
+}
+
+ReliabilityReport evaluate_reliability(const SampleSet& latencies_us, std::size_t offered,
+                                       Nanos deadline) {
+  ReliabilityReport r;
+  r.deadline = deadline;
+  r.delivered = latencies_us.count();
+  r.offered = offered;
+  if (offered == 0) return r;
+  const double within =
+      latencies_us.fraction_at_or_below(deadline.us()) * static_cast<double>(r.delivered);
+  r.fraction_within = within / static_cast<double>(offered);
+  r.meets_urllc = r.fraction_within >= kUrllcReliabilityTarget;
+  r.meets_strict = r.fraction_within >= kUrllcStrictReliability;
+  r.nines = reliability_nines(r.fraction_within);
+  return r;
+}
+
+}  // namespace u5g

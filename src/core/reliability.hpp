@@ -1,0 +1,37 @@
+#pragma once
+// Reliability analysis (§6): URLLC reliability is "fraction of packets
+// delivered within the deadline" — both channel loss and deadline misses
+// from non-deterministic latency count against it. Helpers here turn latency
+// samples into the paper's reliability statements (99.99 % / 99.999 %).
+
+#include <cstdint>
+
+#include "common/stats.hpp"
+#include "common/time.hpp"
+
+namespace u5g {
+
+/// URLLC targets from the paper's abstract/§1.
+inline constexpr double kUrllcReliabilityTarget = 0.9999;      // "higher than 99.99 %"
+inline constexpr double kUrllcStrictReliability = 0.99999;     // "99.999 %" (abstract)
+
+struct ReliabilityReport {
+  Nanos deadline{};
+  std::size_t delivered = 0;
+  std::size_t offered = 0;          ///< includes lost packets
+  double fraction_within = 0.0;     ///< of offered
+  bool meets_urllc = false;
+  bool meets_strict = false;
+  double nines = 0.0;               ///< -log10(1 - fraction), capped
+};
+
+/// Evaluate a latency sample set (µs values) against a deadline. `offered`
+/// counts packets that were sent; samples only exist for delivered ones, so
+/// the loss difference is charged against reliability.
+[[nodiscard]] ReliabilityReport evaluate_reliability(const SampleSet& latencies_us,
+                                                     std::size_t offered, Nanos deadline);
+
+/// Number of "nines" of a reliability fraction (0.999 -> 3.0), capped at 9.
+[[nodiscard]] double reliability_nines(double fraction);
+
+}  // namespace u5g

@@ -1,0 +1,27 @@
+#include "corenet/gtpu.hpp"
+
+#include <array>
+
+namespace u5g {
+
+void gtpu_encapsulate(ByteBuffer& payload, std::uint32_t teid) {
+  std::array<std::uint8_t, kGtpuHeaderBytes> h{};
+  h[0] = GtpuHeader::kVersionFlags;
+  h[1] = GtpuHeader::kMsgTypeGpdu;
+  put_be16(std::span{h}.subspan(2, 2), static_cast<std::uint16_t>(payload.size()));
+  put_be32(std::span{h}.subspan(4, 4), teid);
+  payload.push_header(h);
+}
+
+std::optional<GtpuHeader> gtpu_decapsulate(ByteBuffer& packet) {
+  if (packet.size() < kGtpuHeaderBytes) return std::nullopt;
+  const auto h = packet.pop_header(kGtpuHeaderBytes);
+  if (h[0] != GtpuHeader::kVersionFlags || h[1] != GtpuHeader::kMsgTypeGpdu) return std::nullopt;
+  GtpuHeader out;
+  out.length = get_be16(h.subspan(2, 2));
+  out.teid = get_be32(h.subspan(4, 4));
+  if (out.length != packet.size()) return std::nullopt;
+  return out;
+}
+
+}  // namespace u5g

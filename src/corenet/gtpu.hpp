@@ -1,0 +1,31 @@
+#pragma once
+// GTP-U (TS 29.281): the user-plane tunnel between gNB and UPF (§3: the gNB
+// "encapsulates it into a GTP-U packet, forwarding it to the UPF").
+// Standard 8-byte mandatory header: version/flags, message type 0xFF (G-PDU),
+// length, TEID.
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+
+namespace u5g {
+
+struct GtpuHeader {
+  std::uint32_t teid = 0;
+  std::uint16_t length = 0;  ///< payload bytes following the header
+
+  static constexpr std::uint8_t kVersionFlags = 0x30;  // v1, PT=1
+  static constexpr std::uint8_t kMsgTypeGpdu = 0xFF;
+};
+
+/// Wrap `payload` in a GTP-U tunnel header for `teid`.
+void gtpu_encapsulate(ByteBuffer& payload, std::uint32_t teid);
+
+/// Strip and return the header; nullopt when malformed (bad version/type,
+/// truncated, or length mismatch).
+[[nodiscard]] std::optional<GtpuHeader> gtpu_decapsulate(ByteBuffer& packet);
+
+inline constexpr std::size_t kGtpuHeaderBytes = 8;
+
+}  // namespace u5g

@@ -1,0 +1,29 @@
+#include "mac/bsr.hpp"
+
+#include <cmath>
+
+namespace u5g {
+
+namespace {
+// Exponential bucket edges: B(i) = ceil(10 * 1.375^i), i in [0, 30];
+// index 31 means "more than B(30)". Mirrors the standard table's growth.
+std::size_t edge(int i) {
+  return static_cast<std::size_t>(std::ceil(10.0 * std::pow(1.375, i)));
+}
+}  // namespace
+
+int bsr_index(std::size_t bytes) {
+  if (bytes == 0) return 0;  // index 0: empty buffer
+  for (int i = 0; i <= 30; ++i) {
+    if (bytes <= edge(i)) return i + 1;  // indices 1..31 cover (0, edge(30)]
+  }
+  return 31;
+}
+
+std::size_t bsr_bucket_bytes(int idx) {
+  if (idx <= 0) return 0;
+  if (idx >= 31) return edge(30) * 2;
+  return edge(idx - 1);
+}
+
+}  // namespace u5g

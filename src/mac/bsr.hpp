@@ -1,0 +1,35 @@
+#pragma once
+// Buffer status reporting (TS 38.321 §5.4.5): after the first grant, the UE
+// tells the gNB how much data remains so follow-up grants can be sized.
+// Uses the standard's logarithmic 5-bit buffer-size index table (short BSR).
+
+#include <array>
+#include <cstdint>
+
+namespace u5g {
+
+/// Quantise a byte count to the short-BSR 5-bit index (TS 38.321 Table
+/// 6.1.3.1-1 shape: exponential buckets from 10 B to 150 kB).
+[[nodiscard]] int bsr_index(std::size_t bytes);
+
+/// Upper edge of a BSR bucket: the byte count the gNB assumes when it sees
+/// index `idx`.
+[[nodiscard]] std::size_t bsr_bucket_bytes(int idx);
+
+/// Short BSR MAC CE: one byte = LCG id (3 bits) | buffer size index (5 bits).
+struct ShortBsr {
+  std::uint8_t lcg = 0;
+  int index = 0;
+
+  [[nodiscard]] std::uint8_t encode() const {
+    return static_cast<std::uint8_t>((lcg << 5) | (index & 0x1F));
+  }
+  static ShortBsr decode(std::uint8_t b) {
+    return {static_cast<std::uint8_t>(b >> 5), b & 0x1F};
+  }
+  static ShortBsr for_bytes(std::size_t bytes, std::uint8_t lcg = 0) {
+    return {lcg, bsr_index(bytes)};
+  }
+};
+
+}  // namespace u5g

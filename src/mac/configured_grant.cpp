@@ -1,0 +1,26 @@
+#include "mac/configured_grant.hpp"
+
+#include <algorithm>
+
+namespace u5g {
+
+double ConfiguredGrant::occasions_per_second(const DuplexConfig& duplex) const {
+  // Count occasions in one duplex period (or one configured period, whichever
+  // is longer) and scale.
+  const Nanos span = std::max(duplex.period(), cfg_.periodicity * 2);
+  int count = 0;
+  Nanos t = Nanos::zero();
+  while (t < span) {
+    const auto g = next_occasion(duplex, t);
+    if (!g || g->tx_start >= span) break;
+    ++count;
+    t = g->tx_start + Nanos{1};
+    if (cfg_.periodicity <= Nanos::zero()) {
+      // Symbol-dense occasions: advance a full symbol to count distinct starts.
+      t = g->tx_start + duplex.numerology().symbol_duration();
+    }
+  }
+  return count * (1e9 / static_cast<double>(span.count()));
+}
+
+}  // namespace u5g

@@ -1,0 +1,97 @@
+#pragma once
+// HARQ (hybrid ARQ) model: stop-and-wait processes with soft-combining
+// gain. Retransmissions are the standard 5G reliability tool, and each one
+// costs at least a full scheduling round trip — which is why URLLC work
+// ([27] in the paper) tries to avoid them entirely. The ablation benches use
+// this model to show the latency cliff a single retransmission causes.
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+
+namespace u5g {
+
+enum class HarqState : std::uint8_t { Idle, WaitingFeedback, NackedAwaitingRetx };
+
+/// One stop-and-wait HARQ process.
+struct HarqProcess {
+  HarqState state = HarqState::Idle;
+  int transmissions = 0;
+  std::size_t tb_bytes = 0;
+  Nanos first_tx{};
+};
+
+/// A node's HARQ entity: a fixed pool of processes (NR default: 16).
+class HarqEntity {
+ public:
+  static constexpr int kProcesses = 16;
+
+  explicit HarqEntity(int max_transmissions = 4) : max_tx_(max_transmissions) {}
+
+  /// Claim an idle process for a new transport block; nullopt if all busy.
+  std::optional<HarqId> start(std::size_t tb_bytes, Nanos now) {
+    for (int i = 0; i < kProcesses; ++i) {
+      HarqProcess& p = procs_[static_cast<std::size_t>(i)];
+      if (p.state == HarqState::Idle) {
+        p = HarqProcess{HarqState::WaitingFeedback, 1, tb_bytes, now};
+        return HarqId{static_cast<std::uint32_t>(i)};
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// ACK: process returns to idle. NACK: flagged for retransmission unless
+  /// the transmission budget is exhausted (then the TB is dropped).
+  /// Returns true if a retransmission should be scheduled.
+  bool on_feedback(HarqId id, bool ack) {
+    HarqProcess& p = proc(id);
+    if (ack || p.transmissions >= max_tx_) {
+      if (!ack) ++dropped_;
+      p = HarqProcess{};
+      return false;
+    }
+    p.state = HarqState::NackedAwaitingRetx;
+    return true;
+  }
+
+  /// Mark the retransmission as sent.
+  void on_retransmit(HarqId id) {
+    HarqProcess& p = proc(id);
+    p.state = HarqState::WaitingFeedback;
+    ++p.transmissions;
+  }
+
+  [[nodiscard]] const HarqProcess& proc(HarqId id) const {
+    return procs_[static_cast<std::size_t>(id.value())];
+  }
+  [[nodiscard]] HarqProcess& proc(HarqId id) {
+    return procs_[static_cast<std::size_t>(id.value())];
+  }
+
+  [[nodiscard]] int busy_count() const {
+    int n = 0;
+    for (const HarqProcess& p : procs_) n += p.state != HarqState::Idle ? 1 : 0;
+    return n;
+  }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] int max_transmissions() const { return max_tx_; }
+
+ private:
+  int max_tx_;
+  std::array<HarqProcess, kProcesses> procs_{};
+  std::uint64_t dropped_ = 0;
+};
+
+/// Per-transmission decode probability with soft combining: each attempt
+/// adds `combining_gain_db`, lowering the effective BLER.
+[[nodiscard]] inline double effective_bler(double first_bler, int attempt,
+                                           double per_attempt_factor = 0.1) {
+  double b = first_bler;
+  for (int i = 1; i < attempt; ++i) b *= per_attempt_factor;
+  return b;
+}
+
+}  // namespace u5g

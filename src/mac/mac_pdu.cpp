@@ -1,0 +1,47 @@
+#include "mac/mac_pdu.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace u5g {
+
+ByteBuffer build_mac_pdu(std::vector<MacSubPdu>&& subpdus, std::size_t tb_bytes) {
+  std::size_t need = 0;
+  for (const MacSubPdu& sp : subpdus) need += kMacSubheaderBytes + sp.payload.size();
+  if (need > tb_bytes) throw std::length_error{"build_mac_pdu: subPDUs exceed transport block"};
+
+  ByteBuffer tb(0);
+  for (MacSubPdu& sp : subpdus) {
+    std::array<std::uint8_t, kMacSubheaderBytes> hdr{
+        static_cast<std::uint8_t>(sp.lcid),
+        static_cast<std::uint8_t>(sp.payload.size() >> 8),
+        static_cast<std::uint8_t>(sp.payload.size() & 0xFF)};
+    tb.append(hdr);
+    tb.append(sp.payload.bytes());
+  }
+  if (tb.size() < tb_bytes) {
+    // Padding subheader (no length: consumes the remainder).
+    const std::uint8_t pad_hdr = static_cast<std::uint8_t>(Lcid::Padding);
+    tb.append({&pad_hdr, 1});
+    const std::vector<std::uint8_t> zeros(tb_bytes - tb.size(), 0);
+    tb.append(zeros);
+  }
+  return tb;
+}
+
+std::optional<std::vector<MacSubPdu>> parse_mac_pdu(ByteBuffer&& tb) {
+  std::vector<MacSubPdu> out;
+  while (!tb.empty()) {
+    const auto lcid = static_cast<Lcid>(tb.pop_header(1)[0]);
+    if (lcid == Lcid::Padding) break;
+    if (tb.size() < 2) return std::nullopt;
+    const auto lb = tb.pop_header(2);
+    const std::size_t len = (static_cast<std::size_t>(lb[0]) << 8) | lb[1];
+    if (tb.size() < len) return std::nullopt;
+    const auto body = tb.pop_header(len);
+    out.push_back(MacSubPdu{lcid, ByteBuffer::from_bytes(body)});
+  }
+  return out;
+}
+
+}  // namespace u5g

@@ -1,0 +1,38 @@
+#pragma once
+// MAC PDU multiplexing (TS 38.321 §6.1): a transport block is a sequence of
+// (subheader, payload) pairs — RLC PDUs addressed by logical channel id and
+// MAC control elements (BSR). Subheader: LCID byte + 16-bit length.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace u5g {
+
+/// Logical channel ids (subset): 1-32 = DRBs; 61 = short BSR CE; 63 = padding.
+enum class Lcid : std::uint8_t {
+  Drb1 = 1,
+  ShortBsr = 61,
+  Padding = 63,
+};
+
+/// One multiplexed element of a MAC PDU.
+struct MacSubPdu {
+  Lcid lcid = Lcid::Drb1;
+  ByteBuffer payload;
+};
+
+/// Serialise subPDUs into one transport block of exactly `tb_bytes`
+/// (padding appended). Throws std::length_error if they do not fit.
+[[nodiscard]] ByteBuffer build_mac_pdu(std::vector<MacSubPdu>&& subpdus, std::size_t tb_bytes);
+
+/// Parse a transport block back into subPDUs (padding stripped).
+/// Returns nullopt on malformed input.
+[[nodiscard]] std::optional<std::vector<MacSubPdu>> parse_mac_pdu(ByteBuffer&& tb);
+
+/// Overhead per subPDU: 1 byte LCID + 2 bytes length.
+inline constexpr std::size_t kMacSubheaderBytes = 3;
+
+}  // namespace u5g

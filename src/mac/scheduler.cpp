@@ -1,0 +1,41 @@
+#include "mac/scheduler.hpp"
+
+#include <algorithm>
+
+namespace u5g {
+
+std::optional<UlGrantPlan> MacScheduler::plan_ul_grant(UeId ue, Nanos sr_decoded) {
+  // Decision at the next scheduler run after the SR is known.
+  const Nanos decision = next_scheduler_run(duplex_, sr_decoded);
+  // The DCI must hit a control opportunity the radio pipeline can still
+  // make: control tx start >= decision + lead; also after any already-booked
+  // control/DL time to avoid double-booking the control region.
+  const Nanos earliest_ctrl = std::max(decision + total_lead(), dl_booked_until_);
+  const auto ctrl = next_dl_control(duplex_, earliest_ctrl);
+  if (!ctrl) return std::nullopt;
+
+  // PUSCH: first uplink window the UE can make after decoding the DCI, not
+  // colliding with previously granted uplink.
+  const Nanos earliest_pusch = std::max(ctrl->end + p_.ue_min_prep, ul_booked_until_);
+  const auto pusch = next_ul_tx(duplex_, earliest_pusch, p_.ul_tx_symbols);
+  if (!pusch) return std::nullopt;
+
+  ul_booked_until_ = pusch->end;
+
+  UlGrantPlan plan;
+  plan.control = *ctrl;
+  plan.grant = UlGrant{ue, pusch->start, pusch->end, p_.ul_tb_bytes, HarqId{0}, false};
+  return plan;
+}
+
+std::optional<DlAssignment> MacScheduler::plan_dl(UeId ue, Nanos ready, std::size_t tb_bytes) {
+  // Data is servable in the first DL granule starting after it is ready
+  // plus the radio pipeline lead; skip granules already booked.
+  const Nanos earliest = std::max(ready + total_lead(), dl_booked_until_);
+  const auto win = next_dl_data(duplex_, earliest);
+  if (!win) return std::nullopt;
+  dl_booked_until_ = win->end;
+  return DlAssignment{ue, win->start, win->end, tb_bytes, HarqId{0}};
+}
+
+}  // namespace u5g

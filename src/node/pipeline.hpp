@@ -1,0 +1,53 @@
+#pragma once
+// Layer-traversal helper: walks a packet through a sequence of stack layers
+// on the simulated clock, drawing each layer's processing time from the
+// node's ProcessingModel and reporting every draw (the Table 2 measurement
+// hook) before invoking the completion continuation.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/time.hpp"
+#include "os/proc_time.hpp"
+#include "sim/simulator.hpp"
+
+namespace u5g {
+
+/// Asynchronously traverse `layers` in order starting now. `per_layer` fires
+/// after each layer completes with (layer, sampled duration); `done` fires
+/// once with the completion time.
+inline void traverse_layers(Simulator& sim, ProcessingModel& proc, std::vector<Layer> layers,
+                            std::function<void(Layer, Nanos)> per_layer,
+                            std::function<void(Nanos)> done) {
+  struct Walker : std::enable_shared_from_this<Walker> {
+    Simulator& sim;
+    ProcessingModel& proc;
+    std::vector<Layer> layers;
+    std::function<void(Layer, Nanos)> per_layer;
+    std::function<void(Nanos)> done;
+    std::size_t next = 0;
+
+    Walker(Simulator& s, ProcessingModel& p, std::vector<Layer> l,
+           std::function<void(Layer, Nanos)> pl, std::function<void(Nanos)> d)
+        : sim(s), proc(p), layers(std::move(l)), per_layer(std::move(pl)), done(std::move(d)) {}
+
+    void step() {
+      if (next >= layers.size()) {
+        done(sim.now());
+        return;
+      }
+      const Layer layer = layers[next++];
+      const Nanos dt = proc.sample(layer);
+      auto self = shared_from_this();
+      sim.schedule_after(dt, [self, layer, dt] {
+        if (self->per_layer) self->per_layer(layer, dt);
+        self->step();
+      });
+    }
+  };
+  std::make_shared<Walker>(sim, proc, std::move(layers), std::move(per_layer), std::move(done))
+      ->step();
+}
+
+}  // namespace u5g

@@ -1,0 +1,37 @@
+#include "pdcp/cipher.hpp"
+
+namespace u5g {
+
+namespace {
+
+/// SplitMix64-based per-block keystream word.
+std::uint64_t keystream_word(const CipherContext& ctx, std::uint32_t count, std::uint64_t block) {
+  std::uint64_t x = ctx.key ^ (static_cast<std::uint64_t>(count) << 32) ^
+                    (static_cast<std::uint64_t>(ctx.bearer) << 8) ^ (ctx.downlink ? 1u : 0u);
+  x += (block + 1) * 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+void apply_keystream(std::span<std::uint8_t> data, const CipherContext& ctx, std::uint32_t count) {
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const std::uint64_t word = keystream_word(ctx, count, i / 8);
+    data[i] ^= static_cast<std::uint8_t>(word >> ((i % 8) * 8));
+  }
+}
+
+std::uint32_t integrity_tag(std::span<const std::uint8_t> data, const CipherContext& ctx,
+                            std::uint32_t count) {
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ ctx.key ^ count ^
+                    (static_cast<std::uint64_t>(ctx.bearer) << 40) ^ (ctx.downlink ? 2u : 0u);
+  for (std::uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return static_cast<std::uint32_t>(h ^ (h >> 32));
+}
+
+}  // namespace u5g

@@ -1,0 +1,31 @@
+#pragma once
+// PDCP ciphering and integrity primitives.
+//
+// Stand-ins for NEA/NIA (the 5G AES/SNOW/ZUC suites): a counter-keyed
+// xorshift keystream for confidentiality and a 32-bit FNV-style tag for
+// integrity. They reproduce the *structural* properties PDCP depends on —
+// same (key, count, bearer, direction) => same keystream; any bit flip
+// breaks the tag — at simulator cost. Not cryptographically secure, and
+// deliberately so: this library evaluates latency, not security.
+
+#include <cstdint>
+#include <span>
+
+namespace u5g {
+
+/// Security context: key plus the COUNT input block parameters.
+struct CipherContext {
+  std::uint64_t key = 0x5deece66d2b4a1c9ULL;
+  std::uint32_t bearer = 0;
+  bool downlink = true;
+};
+
+/// XOR `data` with the keystream for (`ctx`, `count`). Involutory: applying
+/// it twice with the same parameters restores the plaintext.
+void apply_keystream(std::span<std::uint8_t> data, const CipherContext& ctx, std::uint32_t count);
+
+/// 32-bit integrity tag over `data` under (`ctx`, `count`).
+[[nodiscard]] std::uint32_t integrity_tag(std::span<const std::uint8_t> data,
+                                          const CipherContext& ctx, std::uint32_t count);
+
+}  // namespace u5g

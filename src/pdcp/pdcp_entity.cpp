@@ -1,0 +1,96 @@
+#include "pdcp/pdcp_entity.hpp"
+
+#include <array>
+
+namespace u5g {
+
+void PdcpTx::protect(ByteBuffer& sdu) {
+  const std::uint32_t count = next_count_++;
+
+  apply_keystream(sdu.bytes(), cfg_.security, count);
+
+  if (cfg_.integrity_enabled) {
+    const std::uint32_t tag = integrity_tag(sdu.bytes(), cfg_.security, count);
+    std::array<std::uint8_t, 4> mac{};
+    put_be32(mac, tag);
+    sdu.append(mac);
+  }
+
+  const std::uint32_t sn = count % cfg_.sn_modulus();
+  if (cfg_.header_bytes() == 2) {
+    // D/C=1 | R R R | SN[11:8]  ,  SN[7:0]
+    std::array<std::uint8_t, 2> h{static_cast<std::uint8_t>(0x80 | ((sn >> 8) & 0x0F)),
+                                  static_cast<std::uint8_t>(sn & 0xFF)};
+    sdu.push_header(h);
+  } else {
+    std::array<std::uint8_t, 3> h{static_cast<std::uint8_t>(0x80 | ((sn >> 16) & 0x03)),
+                                  static_cast<std::uint8_t>((sn >> 8) & 0xFF),
+                                  static_cast<std::uint8_t>(sn & 0xFF)};
+    sdu.push_header(h);
+  }
+}
+
+std::uint32_t PdcpRx::infer_count(std::uint32_t sn) const {
+  // TS 38.323: pick the COUNT with this SN closest to the expected COUNT.
+  const std::uint32_t mod = cfg_.sn_modulus();
+  const std::uint32_t base = expected_ & ~(mod - 1);
+  std::uint32_t best = base + sn;
+  auto dist = [&](std::uint32_t c) {
+    return c >= expected_ ? c - expected_ : expected_ - c;
+  };
+  for (const std::int64_t cand : {static_cast<std::int64_t>(base) - mod,
+                                  static_cast<std::int64_t>(base) + mod}) {
+    if (cand < 0) continue;
+    const auto c = static_cast<std::uint32_t>(cand) + sn;
+    if (dist(c) < dist(best)) best = c;
+  }
+  return best;
+}
+
+bool PdcpRx::receive(ByteBuffer&& pdu, const Deliver& deliver) {
+  const std::size_t hdr = cfg_.header_bytes();
+  if (pdu.size() < hdr + (cfg_.integrity_enabled ? 4u : 0u)) return false;
+
+  std::uint32_t sn = 0;
+  {
+    const auto h = pdu.pop_header(hdr);
+    sn = hdr == 2 ? (static_cast<std::uint32_t>(h[0] & 0x0F) << 8) | h[1]
+                  : (static_cast<std::uint32_t>(h[0] & 0x03) << 16) |
+                        (static_cast<std::uint32_t>(h[1]) << 8) | h[2];
+  }
+  const std::uint32_t count = infer_count(sn);
+
+  if (count < expected_ || held_.contains(count)) return false;  // stale or duplicate
+
+  if (cfg_.integrity_enabled) {
+    const auto body = pdu.bytes();
+    const std::uint32_t got = get_be32(body.subspan(body.size() - 4));
+    pdu.truncate_back(4);
+    const std::uint32_t want = integrity_tag(pdu.bytes(), cfg_.security, count);
+    if (got != want) {
+      ++integrity_failures_;
+      return false;
+    }
+  }
+
+  apply_keystream(pdu.bytes(), cfg_.security, count);
+
+  held_.emplace(count, std::move(pdu));
+  // Deliver the in-order run starting at expected_.
+  for (auto it = held_.begin(); it != held_.end() && it->first == expected_;) {
+    deliver(std::move(it->second), it->first);
+    it = held_.erase(it);
+    ++expected_;
+  }
+  return true;
+}
+
+void PdcpRx::flush(const Deliver& deliver) {
+  for (auto& [count, buf] : held_) {
+    deliver(std::move(buf), count);
+    expected_ = count + 1;
+  }
+  held_.clear();
+}
+
+}  // namespace u5g

@@ -1,0 +1,77 @@
+#pragma once
+// PDCP layer (TS 38.323): sequence numbering, ciphering, integrity
+// protection, and receive-side reordering with in-order delivery.
+//
+// In the ping journey (§3) PDCP is "the encryption layer". For latency it
+// matters twice: its processing time (Table 2: 8.29 µs mean at the gNB) and
+// — under loss — its reordering wait, which trades latency for in-order
+// delivery exactly as §6 describes for reliability mechanisms.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "pdcp/cipher.hpp"
+
+namespace u5g {
+
+/// PDCP configuration: 12-bit (default) or 18-bit sequence numbers.
+struct PdcpConfig {
+  int sn_bits = 12;
+  bool integrity_enabled = true;
+  CipherContext security{};
+
+  [[nodiscard]] std::uint32_t sn_modulus() const { return 1u << sn_bits; }
+  [[nodiscard]] std::uint32_t window_size() const { return sn_modulus() / 2; }
+  [[nodiscard]] std::size_t header_bytes() const { return sn_bits == 12 ? 2 : 3; }
+};
+
+/// Transmit-side PDCP: assigns COUNTs, ciphers, tags.
+class PdcpTx {
+ public:
+  explicit PdcpTx(PdcpConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Protect `sdu` in place: cipher payload, append MAC-I, prepend header.
+  void protect(ByteBuffer& sdu);
+
+  [[nodiscard]] std::uint32_t next_count() const { return next_count_; }
+  [[nodiscard]] const PdcpConfig& config() const { return cfg_; }
+
+ private:
+  PdcpConfig cfg_;
+  std::uint32_t next_count_ = 0;
+};
+
+/// Receive-side PDCP: deciphers, verifies, reorders, delivers in order.
+class PdcpRx {
+ public:
+  /// Callback receives each SDU exactly once, in COUNT order.
+  using Deliver = std::function<void(ByteBuffer&&, std::uint32_t count)>;
+
+  explicit PdcpRx(PdcpConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Process one PDU. Returns false if the PDU was discarded (bad integrity,
+  /// duplicate, or stale). In-order SDUs (and any consecutive run they
+  /// unblock) are handed to `deliver`.
+  bool receive(ByteBuffer&& pdu, const Deliver& deliver);
+
+  /// Force-deliver everything buffered (t-Reordering expiry): skips gaps.
+  void flush(const Deliver& deliver);
+
+  [[nodiscard]] std::size_t held_count() const { return held_.size(); }
+  [[nodiscard]] std::uint32_t expected_count() const { return expected_; }
+  [[nodiscard]] std::uint64_t integrity_failures() const { return integrity_failures_; }
+
+ private:
+  /// Reconstruct the full COUNT from a received SN (TS 38.323 §5.2.2).
+  [[nodiscard]] std::uint32_t infer_count(std::uint32_t sn) const;
+
+  PdcpConfig cfg_;
+  std::uint32_t expected_ = 0;             ///< next COUNT to deliver
+  std::map<std::uint32_t, ByteBuffer> held_;  ///< out-of-order stash
+  std::uint64_t integrity_failures_ = 0;
+};
+
+}  // namespace u5g

@@ -1,0 +1,38 @@
+#include "phy/band.hpp"
+
+#include <array>
+
+namespace u5g {
+
+namespace {
+
+constexpr std::array<Band, 10> kBands{{
+    // FDD bands: only below 2.6 GHz (TS 38.101-1; paper §2).
+    {"n1", 1920.0, 2170.0, DuplexMode::FDD, FrequencyRange::FR1},
+    {"n3", 1710.0, 1880.0, DuplexMode::FDD, FrequencyRange::FR1},
+    {"n7", 2500.0, 2690.0, DuplexMode::FDD, FrequencyRange::FR1},
+    {"n28", 703.0, 803.0, DuplexMode::FDD, FrequencyRange::FR1},
+    // TDD mid-band: the private-5G bands.
+    {"n41", 2496.0, 2690.0, DuplexMode::TDD, FrequencyRange::FR1},
+    {"n77", 3300.0, 4200.0, DuplexMode::TDD, FrequencyRange::FR1},
+    {"n78", 3300.0, 3800.0, DuplexMode::TDD, FrequencyRange::FR1},
+    {"n79", 4400.0, 5000.0, DuplexMode::TDD, FrequencyRange::FR1},
+    // FR2 mmWave (paper §1: 15.625 µs slots possible, but unreliable).
+    {"n257", 26500.0, 29500.0, DuplexMode::TDD, FrequencyRange::FR2},
+    {"n258", 24250.0, 27500.0, DuplexMode::TDD, FrequencyRange::FR2},
+}};
+
+}  // namespace
+
+std::span<const Band> known_bands() { return kBands; }
+
+std::optional<Band> find_band(std::string_view name) {
+  for (const Band& b : kBands) {
+    if (b.name == name) return b;
+  }
+  return std::nullopt;
+}
+
+Band band_n78() { return *find_band("n78"); }
+
+}  // namespace u5g

@@ -1,0 +1,40 @@
+#pragma once
+// NR operating bands (subset of TS 38.101-1/-2 relevant to the paper).
+//
+// Encodes the constraint the paper leans on (§2, §9): in terrestrial 5G,
+// FDD exists only below 2.6 GHz, so private-5G deployments (n78/n79, CBRS)
+// are TDD-only — which is why the TDD configuration analysis matters.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "phy/numerology.hpp"
+
+namespace u5g {
+
+enum class DuplexMode { TDD, FDD };
+
+/// An NR operating band: frequency span, duplexing, frequency range.
+struct Band {
+  std::string_view name;
+  double f_low_mhz;
+  double f_high_mhz;
+  DuplexMode duplex;
+  FrequencyRange fr;
+
+  /// Bands above 2.6 GHz are TDD-only in terrestrial 5G (paper §2).
+  [[nodiscard]] bool usable_for_private_5g() const { return duplex == DuplexMode::TDD; }
+};
+
+/// The bands the paper's discussion touches. n78 is the testbed band (§7).
+[[nodiscard]] std::span<const Band> known_bands();
+
+/// Look up a band by name (e.g. "n78"); nullopt when unknown.
+[[nodiscard]] std::optional<Band> find_band(std::string_view name);
+
+/// The paper's testbed band: n78, 3.3–3.8 GHz, TDD, FR1.
+[[nodiscard]] Band band_n78();
+
+}  // namespace u5g

@@ -1,0 +1,34 @@
+#include "phy/channel.hpp"
+
+#include <cmath>
+
+namespace u5g {
+
+double LinkModel::threshold_db(const McsEntry& mcs) {
+  // Shannon with a 2 dB implementation gap: SNR_req = 2^eff - 1, in dB, + gap.
+  const double eff = mcs.bits_per_re();
+  const double snr_lin = std::pow(2.0, eff) - 1.0;
+  return 10.0 * std::log10(snr_lin) + 2.0;
+}
+
+double LinkModel::bler(const McsEntry& mcs) const {
+  const double gap = snr_db_ - threshold_db(mcs);
+  // Logistic in dB: 50 % at threshold, ~1e-5 a few dB above for steep slopes.
+  return 1.0 / (1.0 + std::exp(gap / slope_db_));
+}
+
+bool MmWaveBlockage::blocked_at(Nanos now) {
+  while (now >= next_toggle_) {
+    blocked_ = !blocked_;
+    schedule_toggle(next_toggle_);
+  }
+  return blocked_;
+}
+
+void MmWaveBlockage::schedule_toggle(Nanos from) {
+  const Nanos mean = blocked_ ? p_.mean_blocked : p_.mean_los;
+  const double dwell = rng_.exponential(static_cast<double>(mean.count()));
+  next_toggle_ = from + Nanos{static_cast<std::int64_t>(dwell) + 1};
+}
+
+}  // namespace u5g

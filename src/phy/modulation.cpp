@@ -1,0 +1,41 @@
+#include "phy/modulation.hpp"
+
+#include <array>
+
+namespace u5g {
+
+namespace {
+
+// TS 38.214 Table 5.1.3.1-1 (PDSCH MCS index table 1, up to 64QAM).
+constexpr std::array<McsEntry, 29> kMcsTable{{
+    {0, Modulation::QPSK, 120},  {1, Modulation::QPSK, 157},  {2, Modulation::QPSK, 193},
+    {3, Modulation::QPSK, 251},  {4, Modulation::QPSK, 308},  {5, Modulation::QPSK, 379},
+    {6, Modulation::QPSK, 449},  {7, Modulation::QPSK, 526},  {8, Modulation::QPSK, 602},
+    {9, Modulation::QPSK, 679},  {10, Modulation::QAM16, 340}, {11, Modulation::QAM16, 378},
+    {12, Modulation::QAM16, 434}, {13, Modulation::QAM16, 490}, {14, Modulation::QAM16, 553},
+    {15, Modulation::QAM16, 616}, {16, Modulation::QAM16, 658}, {17, Modulation::QAM64, 438},
+    {18, Modulation::QAM64, 466}, {19, Modulation::QAM64, 517}, {20, Modulation::QAM64, 567},
+    {21, Modulation::QAM64, 616}, {22, Modulation::QAM64, 666}, {23, Modulation::QAM64, 719},
+    {24, Modulation::QAM64, 772}, {25, Modulation::QAM64, 822}, {26, Modulation::QAM64, 873},
+    {27, Modulation::QAM64, 910}, {28, Modulation::QAM64, 948},
+}};
+
+}  // namespace
+
+std::span<const McsEntry> mcs_table() { return kMcsTable; }
+
+McsEntry mcs(int index) {
+  if (index < 0 || index >= static_cast<int>(kMcsTable.size()))
+    throw std::out_of_range{"mcs: index outside [0,28]"};
+  return kMcsTable[static_cast<std::size_t>(index)];
+}
+
+McsEntry highest_mcs_below_rate(double max_rate) {
+  McsEntry best = kMcsTable.front();
+  for (const McsEntry& e : kMcsTable) {
+    if (e.code_rate() < max_rate && e.bits_per_re() >= best.bits_per_re()) best = e;
+  }
+  return best;
+}
+
+}  // namespace u5g

@@ -1,0 +1,49 @@
+#pragma once
+// Modulation schemes and the MCS table (condensed from TS 38.214 Table
+// 5.1.3.1-1). Determines bits carried per resource element and the code
+// rate, which drive transport-block sizing and PHY processing time.
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string_view>
+
+namespace u5g {
+
+enum class Modulation : std::uint8_t { QPSK = 2, QAM16 = 4, QAM64 = 6, QAM256 = 8 };
+
+[[nodiscard]] constexpr int bits_per_symbol(Modulation m) { return static_cast<int>(m); }
+
+[[nodiscard]] constexpr std::string_view to_string(Modulation m) {
+  switch (m) {
+    case Modulation::QPSK: return "QPSK";
+    case Modulation::QAM16: return "16QAM";
+    case Modulation::QAM64: return "64QAM";
+    case Modulation::QAM256: return "256QAM";
+  }
+  return "?";
+}
+
+/// One row of the MCS table: modulation plus code rate (R = rate_x1024/1024).
+struct McsEntry {
+  int index;
+  Modulation modulation;
+  int rate_x1024;
+  [[nodiscard]] constexpr double code_rate() const { return rate_x1024 / 1024.0; }
+  /// Spectral efficiency in information bits per resource element.
+  [[nodiscard]] constexpr double bits_per_re() const {
+    return bits_per_symbol(modulation) * code_rate();
+  }
+};
+
+/// The 29 MCS indices of TS 38.214 Table 5.1.3.1-1 (64QAM table).
+[[nodiscard]] std::span<const McsEntry> mcs_table();
+
+/// Entry for `index`; throws std::out_of_range outside [0, 28].
+[[nodiscard]] McsEntry mcs(int index);
+
+/// Highest MCS whose code rate stays below `max_rate` — crude link adaptation
+/// used by the channel-aware tests.
+[[nodiscard]] McsEntry highest_mcs_below_rate(double max_rate);
+
+}  // namespace u5g

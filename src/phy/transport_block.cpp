@@ -1,0 +1,47 @@
+#include "phy/transport_block.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "phy/numerology.hpp"
+
+namespace u5g {
+
+int data_re_count(const Allocation& alloc) {
+  if (alloc.n_prb <= 0 || alloc.n_symbols <= 0) return 0;
+  const int re_per_prb = kSubcarriersPerRb * alloc.n_symbols - alloc.dmrs_overhead_re;
+  return std::max(0, re_per_prb) * alloc.n_prb;
+}
+
+int transport_block_size_bits(const Allocation& alloc, const McsEntry& mcs) {
+  const int n_re = data_re_count(alloc);
+  if (n_re == 0) return 0;
+  const double n_info =
+      n_re * mcs.code_rate() * bits_per_symbol(mcs.modulation) * alloc.n_layers;
+  if (n_info < 24.0) return 0;
+  // 38.214 quantisation, simplified: round down to a byte multiple, keep a
+  // 24-bit CRC's worth of headroom out of the payload figure.
+  const auto quantised = static_cast<int>(std::floor(n_info / 8.0)) * 8;
+  return std::max(0, quantised - 24);
+}
+
+Segmentation segment_transport_block(int tbs_bits) {
+  if (tbs_bits <= 0) return {0, 0};
+  const int b = tbs_bits + 24;  // TB-level CRC24
+  if (b <= kMaxCodeBlockBits) return {1, b};
+  // Per-CB CRC24 added when segmented.
+  const int c = (b + (kMaxCodeBlockBits - 24) - 1) / (kMaxCodeBlockBits - 24);
+  const int per_block = (b + c * 24 + c - 1) / c;
+  return {c, per_block};
+}
+
+int prbs_needed(int payload_bytes, int n_symbols, const McsEntry& mcs, int max_prb) {
+  const int need_bits = payload_bytes * 8;
+  for (int prb = 1; prb <= max_prb; ++prb) {
+    Allocation a{.n_prb = prb, .n_symbols = n_symbols};
+    if (transport_block_size_bits(a, mcs) >= need_bits) return prb;
+  }
+  return 0;
+}
+
+}  // namespace u5g

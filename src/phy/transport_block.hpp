@@ -1,0 +1,47 @@
+#pragma once
+// Transport-block sizing (condensed TS 38.214 §5.1.3.2) and code-block
+// segmentation (TS 38.212 §5.2.2). These determine how many bytes fit in a
+// slot's allocation and how much work the encoder/decoder does, which feeds
+// the PHY processing-time model.
+
+#include <cstdint>
+
+#include "phy/modulation.hpp"
+
+namespace u5g {
+
+/// Parameters of one scheduled allocation on the resource grid.
+struct Allocation {
+  int n_prb = 0;           ///< resource blocks across frequency
+  int n_symbols = 0;       ///< OFDM symbols in time (<= 14)
+  int n_layers = 1;        ///< MIMO layers
+  int dmrs_overhead_re = 12;  ///< reference-signal REs per PRB (typ. one symbol)
+};
+
+/// Number of resource elements available for data in the allocation.
+[[nodiscard]] int data_re_count(const Allocation& alloc);
+
+/// Transport block size in bits for the allocation at the given MCS.
+/// Follows the 38.214 procedure in spirit: REs → intermediate info bits →
+/// quantised to byte-aligned sizes. Returns 0 for degenerate allocations.
+[[nodiscard]] int transport_block_size_bits(const Allocation& alloc, const McsEntry& mcs);
+
+/// LDPC code-block segmentation result.
+struct Segmentation {
+  int n_code_blocks = 0;
+  int bits_per_block = 0;  ///< including per-block CRC when segmented
+};
+
+/// Max LDPC code block size (base graph 1).
+inline constexpr int kMaxCodeBlockBits = 8448;
+
+/// Segment a transport block of `tbs_bits` (+24-bit TB CRC) into code blocks.
+[[nodiscard]] Segmentation segment_transport_block(int tbs_bits);
+
+/// Smallest allocation (in PRBs) that fits `payload_bytes` within
+/// `n_symbols` symbols at the given MCS; returns 0 if even one PRB overshoots
+/// the requested ceiling `max_prb`.
+[[nodiscard]] int prbs_needed(int payload_bytes, int n_symbols, const McsEntry& mcs,
+                              int max_prb = 273);
+
+}  // namespace u5g

@@ -1,0 +1,68 @@
+#pragma once
+// SDAP layer (TS 37.324): maps QoS flows onto data radio bearers and tags
+// each downlink/uplink SDU with its QoS Flow Identifier in a 1-byte header.
+// In the paper's ping journey this is the first 5G-specific layer an IP
+// packet meets ("quality of service management", §3).
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "sdap/qos.hpp"
+
+namespace u5g {
+
+/// SDAP data PDU header (downlink format): RDI/RQI flags + 6-bit QFI.
+struct SdapHeader {
+  std::uint8_t qfi = 0;  ///< QoS flow id, 6 bits
+
+  [[nodiscard]] std::uint8_t encode() const { return qfi & 0x3F; }
+  static SdapHeader decode(std::uint8_t b) { return {static_cast<std::uint8_t>(b & 0x3F)}; }
+};
+
+class SdapEntity {
+ public:
+  /// Bind QoS flow `qfi` to bearer `bearer` with the given 5QI.
+  void configure_flow(std::uint8_t qfi, BearerId bearer, const FiveQi& qos) {
+    flows_[qfi] = FlowCtx{bearer, qos};
+  }
+
+  [[nodiscard]] std::optional<BearerId> bearer_of(std::uint8_t qfi) const {
+    const auto it = flows_.find(qfi);
+    if (it == flows_.end()) return std::nullopt;
+    return it->second.bearer;
+  }
+
+  [[nodiscard]] std::optional<FiveQi> qos_of(std::uint8_t qfi) const {
+    const auto it = flows_.find(qfi);
+    if (it == flows_.end()) return std::nullopt;
+    return it->second.qos;
+  }
+
+  /// Add the SDAP header for `qfi`. Throws if the flow is not configured.
+  void encapsulate(ByteBuffer& sdu, std::uint8_t qfi) const {
+    if (!flows_.contains(qfi)) throw std::invalid_argument{"SdapEntity: unconfigured QFI"};
+    const std::uint8_t h = SdapHeader{qfi}.encode();
+    sdu.push_header({&h, 1});
+  }
+
+  /// Strip the SDAP header, returning the QFI.
+  std::uint8_t decapsulate(ByteBuffer& pdu) const {
+    const auto h = pdu.pop_header(1);
+    return SdapHeader::decode(h[0]).qfi;
+  }
+
+  [[nodiscard]] std::size_t flow_count() const { return flows_.size(); }
+
+ private:
+  struct FlowCtx {
+    BearerId bearer;
+    FiveQi qos;
+  };
+  std::unordered_map<std::uint8_t, FlowCtx> flows_;
+};
+
+}  // namespace u5g

@@ -1,0 +1,57 @@
+#pragma once
+// Periodic process helper: fires a callback every `period`, starting at
+// `phase`. Used for per-slot MAC scheduling, SR opportunities, traffic
+// generators, and the radio-head sample clock.
+
+#include <functional>
+#include <utility>
+
+#include "common/time.hpp"
+#include "sim/simulator.hpp"
+
+namespace u5g {
+
+/// Re-arms itself each tick; `stop()` cancels cleanly. Non-copyable because
+/// the scheduled closure captures `this`.
+class PeriodicProcess {
+ public:
+  using Tick = std::function<void(Nanos now)>;
+
+  PeriodicProcess(Simulator& sim, Nanos period, Tick tick, Nanos phase = Nanos::zero())
+      : sim_(sim), period_(period), tick_(std::move(tick)) {
+    if (period_ <= Nanos::zero()) throw std::invalid_argument{"PeriodicProcess: period <= 0"};
+    const Nanos first = phase < sim_.now() ? align_up(sim_.now(), period_, phase) : phase;
+    arm(first);
+  }
+
+  PeriodicProcess(const PeriodicProcess&) = delete;
+  PeriodicProcess& operator=(const PeriodicProcess&) = delete;
+
+  ~PeriodicProcess() { stop(); }
+
+  void stop() {
+    if (running_) {
+      sim_.cancel(next_);
+      running_ = false;
+    }
+  }
+
+  [[nodiscard]] Nanos period() const { return period_; }
+
+ private:
+  void arm(Nanos when) {
+    running_ = true;
+    next_ = sim_.schedule_at(when, [this, when] {
+      tick_(when);
+      if (running_) arm(when + period_);
+    });
+  }
+
+  Simulator& sim_;
+  Nanos period_;
+  Tick tick_;
+  EventHandle next_;
+  bool running_ = false;
+};
+
+}  // namespace u5g

@@ -1,0 +1,110 @@
+#pragma once
+// Discrete-event simulation kernel.
+//
+// The whole 5G system model runs on one simulated clock. Components schedule
+// callbacks at absolute times; the kernel pops them in (time, sequence) order
+// so same-timestamp events run in scheduling order (deterministic replay).
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace u5g {
+
+/// Handle to a scheduled event, usable to cancel it.
+class EventHandle {
+ public:
+  constexpr EventHandle() = default;
+  [[nodiscard]] constexpr bool valid() const { return seq_ != 0; }
+
+ private:
+  friend class Simulator;
+  constexpr explicit EventHandle(std::uint64_t seq) : seq_(seq) {}
+  std::uint64_t seq_ = 0;
+};
+
+/// Event-driven simulator with cancellation and run-until semantics.
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  [[nodiscard]] Nanos now() const { return now_; }
+
+  /// Schedule `action` at absolute time `when` (must be >= now()).
+  EventHandle schedule_at(Nanos when, Action action) {
+    if (when < now_) throw std::invalid_argument{"Simulator: scheduling into the past"};
+    const std::uint64_t seq = ++next_seq_;
+    queue_.push(Event{when, seq, std::move(action)});
+    pending_.insert(seq);
+    return EventHandle{seq};
+  }
+
+  /// Schedule `action` after a relative delay.
+  EventHandle schedule_after(Nanos delay, Action action) {
+    return schedule_at(now_ + delay, std::move(action));
+  }
+
+  /// Cancel a pending event. Returns true if the event had not yet fired or
+  /// been cancelled. Safe on default-constructed handles.
+  bool cancel(EventHandle h) {
+    if (!h.valid() || pending_.erase(h.seq_) == 0) return false;
+    cancelled_.insert(h.seq_);
+    return true;
+  }
+
+  /// Run until the event queue drains or `until` is reached (whichever first).
+  /// If `until` bounds the run, the clock is advanced to exactly `until`.
+  void run_until(Nanos until = Nanos::max()) {
+    while (!queue_.empty() && queue_.top().when <= until) pop_and_fire();
+    if (until != Nanos::max() && now_ < until) now_ = until;
+  }
+
+  /// Fire exactly one live event; returns false if none remain.
+  bool step() {
+    while (!queue_.empty()) {
+      if (pop_and_fire()) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::size_t pending_events() const { return pending_.size(); }
+  [[nodiscard]] bool idle() const { return pending_.empty(); }
+
+ private:
+  struct Event {
+    Nanos when;
+    std::uint64_t seq;
+    mutable Action action;  // moved out on pop; priority_queue::top() is const
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pops the front event; fires it unless cancelled. Returns true if fired.
+  bool pop_and_fire() {
+    Event ev{queue_.top().when, queue_.top().seq,
+             std::move(const_cast<Event&>(queue_.top()).action)};
+    queue_.pop();
+    if (cancelled_.erase(ev.seq) > 0) return false;
+    pending_.erase(ev.seq);
+    now_ = ev.when;
+    ev.action();
+    return true;
+  }
+
+  Nanos now_ = Nanos::zero();
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::unordered_set<std::uint64_t> pending_;
+};
+
+}  // namespace u5g

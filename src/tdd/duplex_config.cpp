@@ -1,0 +1,32 @@
+#include "tdd/duplex_config.hpp"
+
+namespace u5g {
+
+std::string DuplexConfig::render_period() const {
+  std::string out;
+  for (int s = 0; s < period_slots(); ++s) {
+    if (s != 0) out += '|';
+    for (int k = 0; k < kSymbolsPerSlot; ++k) {
+      const bool d = dl_capable(s, k);
+      const bool u = ul_capable(s, k);
+      out += d && u ? 'X' : d ? 'D' : u ? 'U' : '-';
+    }
+  }
+  return out;
+}
+
+bool DuplexConfig::slot_has_dl(SlotIndex slot) const {
+  for (int k = 0; k < kSymbolsPerSlot; ++k) {
+    if (dl_capable(slot, k)) return true;
+  }
+  return false;
+}
+
+bool DuplexConfig::slot_has_ul(SlotIndex slot) const {
+  for (int k = 0; k < kSymbolsPerSlot; ++k) {
+    if (ul_capable(slot, k)) return true;
+  }
+  return false;
+}
+
+}  // namespace u5g

@@ -1,0 +1,119 @@
+#include "tdd/opportunity.hpp"
+
+#include <algorithm>
+
+namespace u5g {
+
+namespace {
+
+/// Global symbol index across slots.
+struct SymbolCursor {
+  SlotIndex slot;
+  int sym;
+
+  void advance() {
+    if (++sym == kSymbolsPerSlot) {
+      sym = 0;
+      ++slot;
+    }
+  }
+};
+
+Nanos symbol_start(const SlotClock& clk, SymbolCursor c) { return clk.symbol_start(c.slot, c.sym); }
+
+/// End of a symbol; symbol 13 absorbs the integer-division remainder so that
+/// it abuts the next slot start exactly.
+Nanos symbol_end(const SlotClock& clk, SymbolCursor c) {
+  return c.sym == kSymbolsPerSlot - 1 ? clk.slot_end(c.slot)
+                                      : clk.symbol_start(c.slot, c.sym + 1);
+}
+
+/// First symbol whose start is at or after `t`.
+SymbolCursor first_symbol_at_or_after(const SlotClock& clk, Nanos t) {
+  SlotIndex slot = clk.slot_at(t);
+  int sym = clk.symbol_at(t);
+  SymbolCursor c{slot, sym};
+  if (symbol_start(clk, c) < t) c.advance();
+  return c;
+}
+
+}  // namespace
+
+std::optional<TxWindow> next_ul_tx(const DuplexConfig& cfg, Nanos t, int n_symbols,
+                                   Nanos search_limit) {
+  if (n_symbols <= 0) return std::nullopt;
+  const SlotClock clk = cfg.clock();
+  SymbolCursor c = first_symbol_at_or_after(clk, t);
+  const Nanos deadline = t + search_limit;
+
+  int run = 0;
+  SymbolCursor run_start = c;
+  while (symbol_start(clk, c) < deadline) {
+    if (cfg.ul_capable(c.slot, c.sym)) {
+      if (run == 0) run_start = c;
+      if (++run == n_symbols) {
+        return TxWindow{symbol_start(clk, run_start), symbol_end(clk, c)};
+      }
+    } else {
+      run = 0;
+    }
+    c.advance();
+  }
+  return std::nullopt;
+}
+
+Nanos next_granule_boundary(const DuplexConfig& cfg, Nanos t) {
+  const SlotClock clk = cfg.clock();
+  const int g = cfg.control_granularity_symbols();
+  const SlotIndex slot = clk.slot_at(t);
+  // Granules start at symbols 0, g, 2g, ... within each slot.
+  for (int sym = 0; sym < kSymbolsPerSlot; sym += g) {
+    const Nanos b = clk.symbol_start(slot, sym);
+    if (b >= t) return b;
+  }
+  return clk.slot_start(slot + 1);
+}
+
+Nanos next_scheduler_run(const DuplexConfig& cfg, Nanos t) { return next_granule_boundary(cfg, t); }
+
+std::optional<TxWindow> next_dl_control(const DuplexConfig& cfg, Nanos t, Nanos search_limit) {
+  const SlotClock clk = cfg.clock();
+  const Nanos deadline = t + search_limit;
+
+  Nanos b = next_granule_boundary(cfg, t);
+  while (b < deadline) {
+    const SlotIndex slot = clk.slot_at(b);
+    const int sym = clk.symbol_at(b);
+    if (cfg.dl_capable(slot, sym)) {
+      // Control occupies cfg.control_symbols() symbols from the boundary,
+      // clamped to the slot (granules never cross slots).
+      const int last = std::min(sym + cfg.control_symbols(), kSymbolsPerSlot) - 1;
+      return TxWindow{b, symbol_end(clk, SymbolCursor{slot, last})};
+    }
+    b = next_granule_boundary(cfg, b + Nanos{1});
+  }
+  return std::nullopt;
+}
+
+std::optional<TxWindow> next_dl_data(const DuplexConfig& cfg, Nanos t, Nanos search_limit) {
+  const SlotClock clk = cfg.clock();
+  const Nanos deadline = t + search_limit;
+  const int g = cfg.control_granularity_symbols();
+
+  Nanos b = next_granule_boundary(cfg, t);
+  while (b < deadline) {
+    const SlotIndex slot = clk.slot_at(b);
+    const int first_sym = clk.symbol_at(b);
+    const int granule_end_sym = std::min(first_sym + g, kSymbolsPerSlot);
+    // Length of the downlink-capable run opening the granule.
+    int run = 0;
+    while (first_sym + run < granule_end_sym && cfg.dl_capable(slot, first_sym + run)) ++run;
+    if (run > cfg.control_symbols()) {
+      return TxWindow{b, symbol_end(clk, SymbolCursor{slot, first_sym + run - 1})};
+    }
+    b = next_granule_boundary(cfg, b + Nanos{1});
+  }
+  return std::nullopt;
+}
+
+}  // namespace u5g

@@ -1,0 +1,104 @@
+// Tests for the §5 latency-budget analyzer.
+
+#include <gtest/gtest.h>
+
+#include "core/budget.hpp"
+#include "tdd/common_config.hpp"
+#include "tdd/fdd.hpp"
+
+namespace u5g {
+namespace {
+
+using namespace u5g::literals;
+
+TEST(BudgetTest, ProtocolFloorAndRemaining) {
+  const TddCommonConfig dm = TddCommonConfig::dm(kMu2);
+  const LatencyBudget b = compute_budget(dm, AccessMode::GrantFreeUl);
+  EXPECT_TRUE(b.protocol_feasible);
+  EXPECT_EQ(b.remaining, b.deadline - b.protocol_floor);
+  EXPECT_GT(b.remaining, Nanos::zero());
+  // DL on DM: floor is exactly the deadline -> nothing left for the stack.
+  const LatencyBudget dl = compute_budget(dm, AccessMode::Downlink);
+  EXPECT_TRUE(dl.protocol_feasible);
+  EXPECT_LT(dl.remaining, Nanos{5'000});
+}
+
+TEST(BudgetTest, InfeasibleProtocolLeavesNoBudget) {
+  const TddCommonConfig dm = TddCommonConfig::dm(kMu2);
+  const LatencyBudget b = compute_budget(dm, AccessMode::GrantBasedUl);
+  EXPECT_FALSE(b.protocol_feasible);
+  EXPECT_EQ(b.remaining, Nanos::zero());
+}
+
+TEST(BudgetTest, TestbedPlatformBlowsTheSlotOnRadio) {
+  // §7's observation: the B210's USB path exceeds one 0.25 ms slot. On the
+  // downlink the gNB radio is the *transmit* side; on the uplink it is the
+  // *receive* side — either way the USB item fails the one-slot test.
+  const TddCommonConfig dm = TddCommonConfig::dm(kMu2);
+  const BudgetReport dl =
+      check_platform(dm, AccessMode::Downlink, Platform::software_testbed());
+  bool tx_radio_failed = false;
+  for (const BudgetItem& item : dl.items) {
+    if (item.label.find("TX radio") != std::string::npos) tx_radio_failed = !item.within;
+  }
+  EXPECT_TRUE(tx_radio_failed);
+  EXPECT_FALSE(dl.all_within);
+  EXPECT_FALSE(dl.meets_deadline);
+
+  const BudgetReport ul =
+      check_platform(dm, AccessMode::GrantFreeUl, Platform::software_testbed());
+  bool rx_radio_failed = false;
+  for (const BudgetItem& item : ul.items) {
+    if (item.label.find("RX radio") != std::string::npos) rx_radio_failed = !item.within;
+  }
+  EXPECT_TRUE(rx_radio_failed);
+  EXPECT_FALSE(ul.all_within);
+}
+
+TEST(BudgetTest, AsicPlatformFitsEverywhereItCan) {
+  const TddCommonConfig dm = TddCommonConfig::dm(kMu2);
+  const BudgetReport r = check_platform(dm, AccessMode::GrantFreeUl, Platform::hardware_asic());
+  EXPECT_TRUE(r.all_within);
+  EXPECT_TRUE(r.meets_deadline);
+  EXPECT_LE(r.projected_worst, 500_us);
+}
+
+TEST(BudgetTest, TunedSoftwareIsBetweenTestbedAndAsic) {
+  const TddCommonConfig dm = TddCommonConfig::dm(kMu2);
+  const auto testbed = check_platform(dm, AccessMode::GrantFreeUl, Platform::software_testbed());
+  const auto tuned = check_platform(dm, AccessMode::GrantFreeUl, Platform::software_tuned());
+  const auto asic = check_platform(dm, AccessMode::GrantFreeUl, Platform::hardware_asic());
+  EXPECT_LT(tuned.projected_worst, testbed.projected_worst);
+  EXPECT_LT(asic.projected_worst, tuned.projected_worst);
+}
+
+TEST(BudgetTest, LeakedSlotsQuantised) {
+  // A platform whose radio costs 1.5 slots leaks exactly one extra slot of
+  // worst case relative to one costing 0.9 slots (ceil quantisation).
+  const FddConfig fdd{kMu2};
+  Platform p = Platform::hardware_asic();
+  p.gnb_radio = RadioHeadParams{BusParams{"slow", Nanos{370'000}, Nanos{0},
+                                          JitterParams::none()},
+                                SampleRate{}, Nanos{5'000}, Nanos{5'000}};
+  const auto slow = check_platform(fdd, AccessMode::Downlink, p);
+  EXPECT_FALSE(slow.all_within);
+  const auto fast = check_platform(fdd, AccessMode::Downlink, Platform::hardware_asic());
+  EXPECT_GE(slow.projected_worst - fast.projected_worst, 250_us);
+}
+
+TEST(BudgetTest, EverySectionItemPresent) {
+  const TddCommonConfig dm = TddCommonConfig::dm(kMu2);
+  const BudgetReport r =
+      check_platform(dm, AccessMode::Downlink, Platform::software_tuned());
+  ASSERT_EQ(r.items.size(), 5u);
+  EXPECT_NE(r.items[0].label.find("(i)"), std::string::npos);
+  EXPECT_NE(r.items[1].label.find("(ii)"), std::string::npos);
+  EXPECT_NE(r.items[3].label.find("(iii)"), std::string::npos);
+  for (const BudgetItem& item : r.items) {
+    EXPECT_EQ(item.threshold, kMu2.slot_duration());
+    EXPECT_GT(item.cost, Nanos::zero());
+  }
+}
+
+}  // namespace
+}  // namespace u5g

@@ -1,0 +1,58 @@
+// Tests for the CSV artifact writer.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.hpp"
+
+namespace u5g {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(CsvWriterTest, HeaderAndNumericRows) {
+  const std::string path = ::testing::TempDir() + "/u5g_csv_test1.csv";
+  {
+    CsvWriter csv(path, {"a", "b", "c"});
+    csv.row({1.0, 2.5, -3.0});
+    csv.row({0.0, 0.125, 1e6});
+  }
+  const std::string content = slurp(path);
+  EXPECT_EQ(content, "a,b,c\n1,2.5,-3\n0,0.125,1e+06\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, EscapesStringCells) {
+  const std::string path = ::testing::TempDir() + "/u5g_csv_test2.csv";
+  {
+    CsvWriter csv(path, {"name", "value"});
+    csv.row(std::vector<std::string>{"USB 2.0, bulk", "say \"hi\""});
+  }
+  const std::string content = slurp(path);
+  EXPECT_NE(content.find("\"USB 2.0, bulk\""), std::string::npos);
+  EXPECT_NE(content.find("\"say \"\"hi\"\"\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, ColumnMismatchThrows) {
+  const std::string path = ::testing::TempDir() + "/u5g_csv_test3.csv";
+  CsvWriter csv(path, {"a", "b"});
+  EXPECT_THROW(csv.row({1.0}), std::invalid_argument);
+  EXPECT_THROW(csv.row(std::vector<std::string>{"x", "y", "z"}), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, UnwritablePathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent_dir_u5g/x.csv", {"a"}), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace u5g

@@ -1,0 +1,165 @@
+// Multi-UE integration tests (§9 "URLLC Scalability"): per-UE isolation,
+// scheduler contention, staggered configured grants, load-dependent gNB
+// processing, and FR2 blockage in the end-to-end path.
+
+#include <gtest/gtest.h>
+
+#include "core/e2e_system.hpp"
+#include "tdd/common_config.hpp"
+
+namespace u5g {
+namespace {
+
+using namespace u5g::literals;
+
+constexpr Nanos kPattern{2'000'000};
+
+TEST(MultiUeTest, AllUesDeliver) {
+  E2eConfig cfg = E2eConfig::testbed(true, 1);
+  cfg.num_ues = 4;
+  E2eSystem sys(std::move(cfg));
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    for (int ue = 0; ue < 4; ++ue) {
+      sys.send_uplink_at(kPattern * (4 * i) +
+                             Nanos{static_cast<std::int64_t>(rng.uniform() * 2e6)},
+                         ue);
+      sys.send_downlink_at(kPattern * (4 * i + 2) +
+                               Nanos{static_cast<std::int64_t>(rng.uniform() * 2e6)},
+                           ue);
+    }
+  }
+  sys.run_until(kPattern * 4 * 60);
+  int per_ue[4] = {0, 0, 0, 0};
+  for (const PacketRecord& r : sys.records()) {
+    ASSERT_TRUE(r.ok) << "seq " << r.seq << " ue " << r.ue;
+    ++per_ue[r.ue];
+  }
+  for (int ue = 0; ue < 4; ++ue) EXPECT_EQ(per_ue[ue], 100) << ue;
+}
+
+TEST(MultiUeTest, PayloadsNotCrossDelivered) {
+  // Distinct per-UE security contexts: a TB protected for UE 0 must fail
+  // integrity on UE 1's chain. Indirectly verified end to end: every packet
+  // sent to UE k is delivered with its own record intact (the finalize path
+  // would mismatch sequence numbers otherwise).
+  E2eConfig cfg = E2eConfig::testbed(true, 3);
+  cfg.num_ues = 2;
+  E2eSystem sys(std::move(cfg));
+  for (int i = 0; i < 20; ++i) {
+    sys.send_downlink_at(kPattern * i + 100_us, i % 2);
+  }
+  sys.run_until(kPattern * 40);
+  for (const PacketRecord& r : sys.records()) {
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.ue, r.seq % 2);
+  }
+}
+
+TEST(MultiUeTest, ContentionRaisesUplinkLatency) {
+  // Synchronised bursts: every UE has uplink data at the same instant.
+  // Grants serialise on the scarce UL windows, so the *average over UEs*
+  // grows with the burst size (§9's scalability problem).
+  auto mean_ul = [](int n_ues, std::uint64_t seed) {
+    E2eConfig cfg = E2eConfig::testbed(false, seed);
+    cfg.num_ues = n_ues;
+    E2eSystem sys(std::move(cfg));
+    for (int i = 0; i < 40; ++i) {
+      for (int ue = 0; ue < n_ues; ++ue) {
+        sys.send_uplink_at(kPattern * (4 * i) + 100_us, ue);
+      }
+    }
+    sys.run_until(kPattern * 4 * 60);
+    return sys.latency_samples_us(Direction::Uplink).mean();
+  };
+  const double one = mean_ul(1, 10);
+  const double six = mean_ul(6, 10);
+  EXPECT_GT(six, one * 1.15);
+}
+
+TEST(MultiUeTest, GnbProcessingScalesWithUes) {
+  // The gNB MAC draw is recorded on the uplink receive path; its mean must
+  // scale with the configured load factor: 1 + 0.08 * (11 - 1) = 1.8.
+  auto mac_mean = [](int n_ues) {
+    E2eConfig cfg = E2eConfig::testbed(true, 20);
+    cfg.num_ues = n_ues;
+    E2eSystem sys(std::move(cfg));
+    for (int i = 0; i < 100; ++i) sys.send_uplink_at(kPattern * i + 50_us, i % n_ues);
+    sys.run_until(kPattern * 140);
+    return sys.gnb_layer_stats_us(Layer::MAC).mean();
+  };
+  const double base = mac_mean(1);
+  const double loaded = mac_mean(11);
+  EXPECT_NEAR(loaded / base, 1.8, 0.25);
+}
+
+TEST(MultiUeTest, StaggeredConfiguredGrantsDoNotCollide) {
+  // Two UEs with periodic CG on the same pattern: occasions are offset by
+  // the configured stagger, so simultaneous arrivals both get served within
+  // one pattern of each other.
+  E2eConfig cfg = E2eConfig::testbed(true, 30);
+  cfg.num_ues = 2;
+  E2eSystem sys(std::move(cfg));
+  for (int i = 0; i < 40; ++i) {
+    sys.send_uplink_at(kPattern * 2 * i + 100_us, 0);
+    sys.send_uplink_at(kPattern * 2 * i + 100_us, 1);  // same instant
+  }
+  sys.run_until(kPattern * 2 * 60);
+  auto ul = sys.latency_samples_us(Direction::Uplink);
+  ASSERT_EQ(ul.count(), 80u);
+  EXPECT_LT(ul.max(), 2.5 * kPattern.us());
+}
+
+TEST(MultiUeTest, PdcpReorderingTimerUnblocksAfterPermanentLoss) {
+  // Regression: a packet whose HARQ budget is exhausted leaves a hole in the
+  // PDCP COUNT sequence. Without t-Reordering, every later packet would be
+  // held forever; with it, later packets are flushed within the timer.
+  E2eConfig cfg = E2eConfig::testbed(true, 60);
+  // A 40 ms blocked dwell kills packets sent during it outright.
+  cfg.blockage = MmWaveBlockage::Params{.mean_los = 200_ms,
+                                        .mean_blocked = 40_ms,
+                                        .blocked_loss_prob = 1.0};
+  cfg.pdcp_t_reordering = 5_ms;
+  E2eSystem sys(std::move(cfg));
+  constexpr int kPackets = 100;
+  for (int i = 0; i < kPackets; ++i) sys.send_downlink_at(10_ms * i + 100_us);
+  sys.run_until(10_ms * (kPackets + 30));
+  const auto delivered = sys.latency_samples_us(Direction::Downlink).count();
+  // Most packets are in LoS dwells (~83 % of time) and must deliver even
+  // though some mid-sequence packets died.
+  EXPECT_GT(delivered, kPackets * 6 / 10);
+  // And flushed stragglers are bounded: nothing waits tens of ms in PDCP.
+  auto lat = sys.latency_samples_us(Direction::Downlink);
+  EXPECT_LT(lat.quantile(0.95) / 1e3, 12.0);
+}
+
+TEST(MultiUeTest, InvalidUeIndexThrows) {
+  E2eConfig cfg = E2eConfig::testbed(true, 40);
+  cfg.num_ues = 2;
+  E2eSystem sys(std::move(cfg));
+  EXPECT_THROW(sys.send_uplink_at(1_ms, 2), std::out_of_range);
+  EXPECT_THROW(sys.send_downlink_at(1_ms, -1), std::out_of_range);
+}
+
+TEST(MultiUeTest, BlockageDegradesDelivery) {
+  // FR2-style blockage: blocked dwells (50 ms) dwarf the HARQ recovery span
+  // (~4 attempts in a few ms), so packets arriving while blocked are lost.
+  // Sparse offered load isolates the blockage effect from queueing collapse.
+  E2eConfig cfg = E2eConfig::testbed(true, 50);
+  cfg.blockage = MmWaveBlockage::Params{.mean_los = 50_ms,
+                                        .mean_blocked = 50_ms,
+                                        .blocked_loss_prob = 1.0};
+  E2eSystem sys(std::move(cfg));
+  constexpr int kPackets = 200;
+  const Nanos spacing = kPattern * 5;  // 10 ms apart
+  for (int i = 0; i < kPackets; ++i) sys.send_downlink_at(spacing * i + 100_us);
+  sys.run_until(spacing * (kPackets + 20));
+  const auto delivered = sys.latency_samples_us(Direction::Downlink).count();
+  // ~LoS fraction of packets get through (wide bounds: dwells correlate
+  // adjacent packets).
+  EXPECT_LT(delivered, 170u);
+  EXPECT_GT(delivered, 50u);
+}
+
+}  // namespace
+}  // namespace u5g

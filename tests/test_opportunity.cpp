@@ -1,0 +1,217 @@
+// Unit tests for the transmission-opportunity queries — the primitives the
+// whole §5 analysis rests on. Exact expected times are computed from the
+// µ2 grid: slot 250 µs, symbol 17857 ns (last symbol absorbs the remainder).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "tdd/common_config.hpp"
+#include "tdd/fdd.hpp"
+#include "tdd/mini_slot.hpp"
+#include "tdd/slot_format.hpp"
+#include "tdd/opportunity.hpp"
+
+namespace u5g {
+namespace {
+
+using namespace u5g::literals;
+
+constexpr Nanos kSym{17'857};        // µ2 symbol (integer division)
+constexpr Nanos kSlot{250'000};
+
+// ---------------------------------------------------------------------------
+// next_ul_tx
+
+TEST(NextUlTxTest, DuFindsUplinkSlot) {
+  const TddCommonConfig c = TddCommonConfig::du(kMu2);  // D | U
+  const auto w = next_ul_tx(c, 1_ns, 1);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->start, kSlot);                 // first symbol of the U slot
+  EXPECT_EQ(w->end, kSlot + kSym);
+}
+
+TEST(NextUlTxTest, StartAtOrAfterT) {
+  const TddCommonConfig c = TddCommonConfig::du(kMu2);
+  // Exactly at a UL symbol boundary: usable.
+  EXPECT_EQ(next_ul_tx(c, kSlot, 1)->start, kSlot);
+  // One ns later: the next symbol.
+  EXPECT_EQ(next_ul_tx(c, kSlot + 1_ns, 1)->start, kSlot + kSym);
+}
+
+TEST(NextUlTxTest, DmUplinkTail) {
+  const TddCommonConfig c = TddCommonConfig::dm(kMu2);  // D | DDDD--UUUUUUUU
+  const auto w = next_ul_tx(c, 1_ns, 2);
+  ASSERT_TRUE(w.has_value());
+  // UL symbols are 6..13 of slot 1.
+  EXPECT_EQ(w->start, kSlot + kSym * 6);
+  EXPECT_EQ(w->end, kSlot + kSym * 8);
+}
+
+TEST(NextUlTxTest, RunCrossesSlotBoundary) {
+  const TddCommonConfig c = TddCommonConfig::mu(kMu2);  // DDDD--UUUUUUUU | U...U
+  // 10 consecutive UL symbols need the M tail (8) + the U slot head (2):
+  // only possible because symbol 13 of slot 0 abuts symbol 0 of slot 1.
+  const auto w = next_ul_tx(c, 1_ns, 10);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->start, kSym * 6);
+  EXPECT_EQ(w->end, kSlot + kSym * 2);
+}
+
+TEST(NextUlTxTest, TooLongRunWaitsForNextRegion) {
+  const TddCommonConfig c = TddCommonConfig::dm(kMu2);
+  // 9 consecutive UL symbols never exist (the tail is 8): nullopt.
+  EXPECT_FALSE(next_ul_tx(c, 1_ns, 9, 10_ms).has_value());
+}
+
+TEST(NextUlTxTest, NoUplinkAnywhere) {
+  const SlotFormatConfig all_dl{kMu2, {0}};
+  EXPECT_FALSE(next_ul_tx(all_dl, 0_ns, 1, 5_ms).has_value());
+}
+
+TEST(NextUlTxTest, ZeroSymbolsRejected) {
+  const FddConfig c{kMu2};
+  EXPECT_FALSE(next_ul_tx(c, 0_ns, 0).has_value());
+}
+
+TEST(NextUlTxTest, LastSymbolWindowEndsAtSlotBoundary) {
+  const TddCommonConfig c = TddCommonConfig::du(kMu2);
+  // Window starting at symbol 13 of the U slot must end exactly at the slot
+  // boundary (remainder absorbed), not at 14 * sym.
+  const auto w = next_ul_tx(c, kSlot + kSym * 13, 1);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->start, kSlot + kSym * 13);
+  EXPECT_EQ(w->end, kSlot * 2);
+}
+
+class UlWindowPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(UlWindowPropertyTest, ReturnedWindowsAreUplinkCapable) {
+  // Property: every symbol inside a returned window is UL-capable, for all
+  // §5 candidate configs and a sweep of query times and lengths.
+  const int n_symbols = GetParam();
+  std::vector<std::unique_ptr<DuplexConfig>> cfgs;
+  cfgs.push_back(std::make_unique<TddCommonConfig>(TddCommonConfig::du(kMu2)));
+  cfgs.push_back(std::make_unique<TddCommonConfig>(TddCommonConfig::dm(kMu2)));
+  cfgs.push_back(std::make_unique<TddCommonConfig>(TddCommonConfig::mu(kMu2)));
+  cfgs.push_back(std::make_unique<MiniSlotConfig>(kMu2, 2));
+  cfgs.push_back(std::make_unique<FddConfig>(kMu2));
+  for (const auto& cfg : cfgs) {
+    const SlotClock clk = cfg->clock();
+    for (int probe = 0; probe < 60; ++probe) {
+      const Nanos t = Nanos{probe * 13'441};
+      const auto w = next_ul_tx(*cfg, t, n_symbols, 20_ms);
+      if (!w) continue;
+      EXPECT_GE(w->start, t);
+      for (Nanos s = w->start; s < w->end - 1_ns; s += clk.symbol_duration()) {
+        EXPECT_TRUE(cfg->ul_capable(clk.slot_at(s), clk.symbol_at(s)))
+            << cfg->name() << " t=" << t.count() << " sym at " << s.count();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, UlWindowPropertyTest, ::testing::Values(1, 2, 4, 8));
+
+// ---------------------------------------------------------------------------
+// Granule boundaries / scheduler runs
+
+TEST(GranuleTest, SlotGranularity) {
+  const TddCommonConfig c = TddCommonConfig::du(kMu2);
+  EXPECT_EQ(next_granule_boundary(c, 0_ns), 0_ns);
+  EXPECT_EQ(next_granule_boundary(c, 1_ns), kSlot);
+  EXPECT_EQ(next_granule_boundary(c, kSlot), kSlot);
+  EXPECT_EQ(next_scheduler_run(c, kSlot + 1_ns), kSlot * 2);
+}
+
+TEST(GranuleTest, MiniSlotGranularity) {
+  const MiniSlotConfig c{kMu2, 2};
+  EXPECT_EQ(next_granule_boundary(c, 1_ns), kSym * 2);
+  EXPECT_EQ(next_granule_boundary(c, kSym * 2), kSym * 2);
+  EXPECT_EQ(next_granule_boundary(c, kSym * 11), kSym * 12);
+  // Past symbol 12 the next granule is the next slot's symbol 0.
+  EXPECT_EQ(next_granule_boundary(c, kSym * 12 + 1_ns), kSlot);
+}
+
+TEST(GranuleTest, SevenSymbolMiniSlot) {
+  const MiniSlotConfig c{kMu2, 7};
+  EXPECT_EQ(next_granule_boundary(c, 1_ns), kSym * 7);
+  EXPECT_EQ(next_granule_boundary(c, kSym * 7 + 1_ns), kSlot);
+}
+
+// ---------------------------------------------------------------------------
+// next_dl_control
+
+TEST(NextDlControlTest, SkipsUplinkSlot) {
+  const TddCommonConfig c = TddCommonConfig::du(kMu2);
+  // Just after the D slot starts: next control is the D slot of period 2.
+  const auto w = next_dl_control(c, 1_ns);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->start, kSlot * 2);
+  EXPECT_EQ(w->end, kSlot * 2 + kSym);  // 1 control symbol
+}
+
+TEST(NextDlControlTest, MixedSlotCarriesControl) {
+  const TddCommonConfig c = TddCommonConfig::dm(kMu2);
+  // After slot 0 begins, the M slot (DL head) provides the next control.
+  const auto w = next_dl_control(c, 1_ns);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->start, kSlot);
+}
+
+TEST(NextDlControlTest, FddEverySlot) {
+  const FddConfig c{kMu2};
+  EXPECT_EQ(next_dl_control(c, 1_ns)->start, kSlot);
+  EXPECT_EQ(next_dl_control(c, kSlot)->start, kSlot);
+}
+
+TEST(NextDlControlTest, NoDownlinkAnywhere) {
+  const SlotFormatConfig all_ul{kMu2, {1}};
+  EXPECT_FALSE(next_dl_control(all_ul, 0_ns, 5_ms).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// next_dl_data
+
+TEST(NextDlDataTest, FullDlSlot) {
+  const TddCommonConfig c = TddCommonConfig::du(kMu2);
+  const auto w = next_dl_data(c, 1_ns);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->start, kSlot * 2);
+  EXPECT_EQ(w->end, kSlot * 3);  // full DL slot: run ends at slot end
+}
+
+TEST(NextDlDataTest, MixedSlotRunEndsAtGuard) {
+  const TddCommonConfig c = TddCommonConfig::dm(kMu2);
+  const auto w = next_dl_data(c, 1_ns);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->start, kSlot);
+  EXPECT_EQ(w->end, kSlot + kSym * 4);  // 4 DL symbols then guard
+}
+
+TEST(NextDlDataTest, RunMustExceedControlOverhead) {
+  // A slot with a single DL symbol can carry control but no data.
+  const SlotFormatConfig c{kMu2, {16, 0}};  // DFFF... then full D
+  const auto w = next_dl_data(c, 1_ns);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->start, kSlot);  // skipped the 1-symbol-DL slot
+}
+
+TEST(NextDlDataTest, MiniSlotServesWithinGranule) {
+  const MiniSlotConfig c{kMu2, 2};
+  const auto w = next_dl_data(c, 1_ns);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->start, kSym * 2);
+  EXPECT_EQ(w->end, kSym * 4);  // the granule itself
+}
+
+TEST(NextDlDataTest, ExactBoundaryUsable) {
+  const FddConfig c{kMu2};
+  const auto w = next_dl_data(c, kSlot);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->start, kSlot);
+  EXPECT_EQ(w->end, kSlot * 2);
+}
+
+}  // namespace
+}  // namespace u5g

@@ -1,0 +1,82 @@
+// Tests for the layer-traversal helper (node/pipeline).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "node/pipeline.hpp"
+
+namespace u5g {
+namespace {
+
+using namespace u5g::literals;
+
+TEST(PipelineTest, TraversesLayersInOrderWithDraws) {
+  Simulator sim;
+  ProcessingModel proc{ProcessingProfile::gnb_i7(), Rng{1}};
+  std::vector<Layer> seen;
+  Nanos total = Nanos::zero();
+  Nanos done_at{-1};
+  traverse_layers(
+      sim, proc, {Layer::SDAP, Layer::PDCP, Layer::RLC},
+      [&](Layer l, Nanos dt) {
+        seen.push_back(l);
+        total += dt;
+        EXPECT_GT(dt, Nanos::zero());
+      },
+      [&](Nanos end) { done_at = end; });
+  sim.run_until();
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], Layer::SDAP);
+  EXPECT_EQ(seen[1], Layer::PDCP);
+  EXPECT_EQ(seen[2], Layer::RLC);
+  // Completion time equals the sum of the sampled durations.
+  EXPECT_EQ(done_at, total);
+}
+
+TEST(PipelineTest, EmptyLayerListCompletesImmediately) {
+  Simulator sim;
+  ProcessingModel proc{ProcessingProfile::gnb_i7(), Rng{2}};
+  bool done = false;
+  traverse_layers(sim, proc, {}, nullptr, [&](Nanos end) {
+    done = true;
+    EXPECT_EQ(end, Nanos::zero());
+  });
+  sim.run_until();
+  EXPECT_TRUE(done);
+}
+
+TEST(PipelineTest, NullPerLayerCallbackIsSafe) {
+  Simulator sim;
+  ProcessingModel proc{ProcessingProfile::gnb_i7(), Rng{3}};
+  bool done = false;
+  traverse_layers(sim, proc, {Layer::MAC, Layer::PHY}, nullptr, [&](Nanos) { done = true; });
+  sim.run_until();
+  EXPECT_TRUE(done);
+}
+
+TEST(PipelineTest, ZeroProfileTakesZeroTime) {
+  Simulator sim;
+  ProcessingModel proc{ProcessingProfile::zero(), Rng{4}};
+  Nanos done_at{-1};
+  traverse_layers(sim, proc, {Layer::APP, Layer::SDAP, Layer::PDCP, Layer::RLC, Layer::MAC},
+                  nullptr, [&](Nanos end) { done_at = end; });
+  sim.run_until();
+  EXPECT_EQ(done_at, Nanos::zero());
+}
+
+TEST(PipelineTest, ConcurrentTraversalsDoNotInterfere) {
+  Simulator sim;
+  ProcessingModel proc{ProcessingProfile::gnb_i7(), Rng{5}};
+  int completions = 0;
+  for (int i = 0; i < 10; ++i) {
+    traverse_layers(sim, proc, {Layer::PHY, Layer::MAC}, nullptr,
+                    [&](Nanos) { ++completions; });
+  }
+  sim.run_until();
+  EXPECT_EQ(completions, 10);
+  EXPECT_TRUE(sim.idle());
+}
+
+}  // namespace
+}  // namespace u5g

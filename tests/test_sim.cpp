@@ -1,0 +1,208 @@
+// Unit tests for the discrete-event kernel and the periodic process helper.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/periodic.hpp"
+#include "sim/simulator.hpp"
+
+namespace u5g {
+namespace {
+
+using namespace u5g::literals;
+
+TEST(SimulatorTest, FiresInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30_ns, [&] { order.push_back(3); });
+  sim.schedule_at(10_ns, [&] { order.push_back(1); });
+  sim.schedule_at(20_ns, [&] { order.push_back(2); });
+  sim.run_until();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30_ns);
+}
+
+TEST(SimulatorTest, SameTimestampFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    sim.schedule_at(5_us, [&order, i] { order.push_back(i); });
+  }
+  sim.run_until();
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SimulatorTest, ScheduleAfterIsRelative) {
+  Simulator sim;
+  Nanos fired{-1};
+  sim.schedule_at(100_ns, [&] {
+    sim.schedule_after(50_ns, [&] { fired = sim.now(); });
+  });
+  sim.run_until();
+  EXPECT_EQ(fired, 150_ns);
+}
+
+TEST(SimulatorTest, SchedulingIntoPastThrows) {
+  Simulator sim;
+  sim.schedule_at(100_ns, [] {});
+  sim.run_until();
+  EXPECT_THROW(sim.schedule_at(50_ns, [] {}), std::invalid_argument);
+}
+
+TEST(SimulatorTest, RunUntilBoundsAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(10_us, [&] { ++fired; });
+  sim.schedule_at(30_us, [&] { ++fired; });
+  sim.run_until(20_us);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 20_us);  // clock advanced to the bound
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run_until(40_us);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, EventAtExactBoundFires) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_at(20_us, [&] { fired = true; });
+  sim.run_until(20_us);
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventHandle h = sim.schedule_at(10_ns, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(h));
+  EXPECT_FALSE(sim.cancel(h));  // double cancel is a no-op
+  sim.run_until();
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(SimulatorTest, CancelAfterFireReturnsFalse) {
+  Simulator sim;
+  const EventHandle h = sim.schedule_at(1_ns, [] {});
+  sim.run_until();
+  EXPECT_FALSE(sim.cancel(h));
+}
+
+TEST(SimulatorTest, CancelInvalidHandle) {
+  Simulator sim;
+  EXPECT_FALSE(sim.cancel(EventHandle{}));
+}
+
+TEST(SimulatorTest, PendingAccounting) {
+  Simulator sim;
+  EXPECT_TRUE(sim.idle());
+  const auto h1 = sim.schedule_at(1_us, [] {});
+  sim.schedule_at(2_us, [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.cancel(h1);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run_until();
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(SimulatorTest, StepFiresExactlyOne) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1_ns, [&] { ++fired; });
+  sim.schedule_at(2_ns, [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(SimulatorTest, StepSkipsCancelled) {
+  Simulator sim;
+  int fired = 0;
+  const auto h = sim.schedule_at(1_ns, [&] { ++fired; });
+  sim.schedule_at(2_ns, [&] { ++fired; });
+  sim.cancel(h);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 2_ns);
+}
+
+TEST(SimulatorTest, EventsScheduledDuringRunAreFired) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) sim.schedule_after(1_us, chain);
+  };
+  sim.schedule_at(0_ns, chain);
+  sim.run_until();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), 4_us);
+}
+
+// ---------------------------------------------------------------------------
+// PeriodicProcess
+
+TEST(PeriodicProcessTest, TicksAtPeriod) {
+  Simulator sim;
+  std::vector<Nanos> ticks;
+  PeriodicProcess p(sim, 100_us, [&](Nanos now) { ticks.push_back(now); });
+  sim.run_until(350_us);
+  ASSERT_EQ(ticks.size(), 4u);  // 0, 100, 200, 300
+  EXPECT_EQ(ticks[0], 0_us);
+  EXPECT_EQ(ticks[3], 300_us);
+  p.stop();
+}
+
+TEST(PeriodicProcessTest, PhaseOffset) {
+  Simulator sim;
+  std::vector<Nanos> ticks;
+  PeriodicProcess p(sim, 100_us, [&](Nanos now) { ticks.push_back(now); }, 30_us);
+  sim.run_until(250_us);
+  ASSERT_GE(ticks.size(), 2u);
+  EXPECT_EQ(ticks[0], 30_us);
+  EXPECT_EQ(ticks[1], 130_us);
+  p.stop();
+}
+
+TEST(PeriodicProcessTest, StopHaltsTicks) {
+  Simulator sim;
+  int count = 0;
+  PeriodicProcess p(sim, 10_us, [&](Nanos) { ++count; });
+  sim.run_until(25_us);
+  p.stop();
+  sim.run_until(100_us);
+  EXPECT_EQ(count, 3);  // 0, 10, 20
+}
+
+TEST(PeriodicProcessTest, DestructorCancels) {
+  Simulator sim;
+  int count = 0;
+  {
+    PeriodicProcess p(sim, 10_us, [&](Nanos) { ++count; });
+    sim.run_until(15_us);
+  }
+  sim.run_until(100_us);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(PeriodicProcessTest, StartedLateAlignsToGrid) {
+  Simulator sim;
+  sim.schedule_at(105_us, [] {});
+  sim.run_until();
+  std::vector<Nanos> ticks;
+  PeriodicProcess p(sim, 100_us, [&](Nanos now) { ticks.push_back(now); }, 0_us);
+  sim.run_until(350_us);
+  ASSERT_GE(ticks.size(), 1u);
+  EXPECT_EQ(ticks[0], 200_us);  // next multiple of 100 after now=105
+  p.stop();
+}
+
+TEST(PeriodicProcessTest, InvalidPeriodThrows) {
+  Simulator sim;
+  EXPECT_THROW(PeriodicProcess(sim, 0_ns, [](Nanos) {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace u5g

@@ -1,0 +1,236 @@
+// Unit tests for src/tdd: Common Configuration validation and direction
+// maps, Slot Format table, Mini-Slot, FDD, and the render helpers.
+
+#include <gtest/gtest.h>
+
+#include "tdd/common_config.hpp"
+#include "tdd/fdd.hpp"
+#include "tdd/mini_slot.hpp"
+#include "tdd/slot_format.hpp"
+
+namespace u5g {
+namespace {
+
+using namespace u5g::literals;
+
+// ---------------------------------------------------------------------------
+// Standard periods
+
+TEST(TddPeriodTest, StandardSet) {
+  const auto periods = standard_tdd_periods();
+  ASSERT_EQ(periods.size(), 8u);
+  EXPECT_EQ(periods[0], 500_us);
+  EXPECT_EQ(periods[1], Nanos{625'000});
+  EXPECT_EQ(periods.back(), 10_ms);
+}
+
+TEST(TddPeriodTest, ValidityDependsOnNumerology) {
+  EXPECT_TRUE(is_valid_tdd_period(500_us, kMu1));   // 1 slot
+  EXPECT_TRUE(is_valid_tdd_period(500_us, kMu2));   // 2 slots
+  EXPECT_FALSE(is_valid_tdd_period(500_us, kMu0));  // half a slot: invalid
+  EXPECT_FALSE(is_valid_tdd_period(Nanos{625'000}, kMu2));  // 2.5 slots
+  EXPECT_TRUE(is_valid_tdd_period(Nanos{625'000}, kMu3));   // 5 slots
+  EXPECT_FALSE(is_valid_tdd_period(Nanos{750'000}, kMu2));  // not in the set
+}
+
+// ---------------------------------------------------------------------------
+// Common Configuration validation
+
+TEST(TddCommonConfigTest, RejectsNonStandardPeriod) {
+  EXPECT_THROW((TddCommonConfig{kMu2, TddPattern{Nanos{300'000}, 1, 0, 0, 0}}),
+               std::invalid_argument);
+}
+
+TEST(TddCommonConfigTest, RejectsOverflowingPattern) {
+  // 0.5 ms at µ2 = 2 slots; 2 DL + 1 UL does not fit.
+  EXPECT_THROW((TddCommonConfig{kMu2, TddPattern{500_us, 2, 0, 0, 1}}), std::invalid_argument);
+  // Mixed slot needs its own slot on top of D and U.
+  EXPECT_THROW((TddCommonConfig{kMu2, TddPattern{500_us, 1, 4, 4, 1}}), std::invalid_argument);
+}
+
+TEST(TddCommonConfigTest, RejectsMixedSlotWithoutGuard) {
+  // 14 DL+UL symbols leave no guard symbol (§2: guard is mandatory).
+  EXPECT_THROW((TddCommonConfig{kMu2, TddPattern{500_us, 1, 7, 7, 0}}), std::invalid_argument);
+}
+
+TEST(TddCommonConfigTest, RejectsNegativeAndOversizeFields) {
+  EXPECT_THROW((TddCommonConfig{kMu2, TddPattern{500_us, -1, 0, 0, 1}}), std::invalid_argument);
+  EXPECT_THROW((TddCommonConfig{kMu2, TddPattern{500_us, 0, 14, 0, 1}}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// The paper's configurations
+
+TEST(TddCommonConfigTest, DuMap) {
+  const TddCommonConfig c = TddCommonConfig::du(kMu2);
+  EXPECT_EQ(c.period_slots(), 2);
+  EXPECT_EQ(c.render_period(), "DDDDDDDDDDDDDD|UUUUUUUUUUUUUU");
+  EXPECT_EQ(c.name(), "TDD-Common(DU)");
+  EXPECT_EQ(c.guard_symbols(), 0);
+}
+
+TEST(TddCommonConfigTest, DmMap) {
+  const TddCommonConfig c = TddCommonConfig::dm(kMu2);
+  EXPECT_EQ(c.render_period(), "DDDDDDDDDDDDDD|DDDD--UUUUUUUU");
+  EXPECT_EQ(c.guard_symbols(), 2);
+  // Slot 1 is the mixed slot: DL head, guard, UL tail.
+  EXPECT_TRUE(c.dl_capable(1, 0));
+  EXPECT_TRUE(c.dl_capable(1, 3));
+  EXPECT_FALSE(c.dl_capable(1, 4));
+  EXPECT_FALSE(c.ul_capable(1, 5));
+  EXPECT_TRUE(c.ul_capable(1, 6));
+  EXPECT_TRUE(c.ul_capable(1, 13));
+}
+
+TEST(TddCommonConfigTest, MuMap) {
+  const TddCommonConfig c = TddCommonConfig::mu(kMu2);
+  EXPECT_EQ(c.render_period(), "DDDD--UUUUUUUU|UUUUUUUUUUUUUU");
+}
+
+TEST(TddCommonConfigTest, DdduMap) {
+  const TddCommonConfig c = TddCommonConfig::dddu(kMu1);
+  EXPECT_EQ(c.period_slots(), 4);
+  EXPECT_EQ(c.period(), 2_ms);
+  EXPECT_EQ(c.name(), "TDD-Common(DDDU)");
+  for (int s : {0, 1, 2}) {
+    EXPECT_TRUE(c.dl_capable(s, 0)) << s;
+    EXPECT_FALSE(c.ul_capable(s, 13)) << s;
+  }
+  EXPECT_TRUE(c.ul_capable(3, 0));
+  EXPECT_FALSE(c.dl_capable(3, 0));
+}
+
+TEST(TddCommonConfigTest, MapIsPeriodic) {
+  const TddCommonConfig c = TddCommonConfig::dm(kMu2);
+  for (int sym = 0; sym < kSymbolsPerSlot; ++sym) {
+    for (SlotIndex s : {SlotIndex{0}, SlotIndex{1}}) {
+      EXPECT_EQ(c.dl_capable(s, sym), c.dl_capable(s + 2 * 1000, sym));
+      EXPECT_EQ(c.ul_capable(s, sym), c.ul_capable(s + 2 * 1000, sym));
+      // Negative slots too (analysis can look behind t=0).
+      EXPECT_EQ(c.dl_capable(s, sym), c.dl_capable(s - 2 * 1000, sym));
+    }
+  }
+}
+
+TEST(TddCommonConfigTest, SlotHasQueries) {
+  const TddCommonConfig c = TddCommonConfig::dm(kMu2);
+  EXPECT_TRUE(c.slot_has_dl(0));
+  EXPECT_FALSE(c.slot_has_ul(0));
+  EXPECT_TRUE(c.slot_has_dl(1));  // mixed slot has both
+  EXPECT_TRUE(c.slot_has_ul(1));
+}
+
+TEST(TddCommonConfigTest, TwoPatternConfig) {
+  // DDDU + DU at µ1: total 2 ms + 1 ms = 3 ms, 6 slots.
+  const TddCommonConfig c{kMu1, TddPattern{2_ms, 3, 0, 0, 1},
+                          TddPattern{1_ms, 1, 0, 0, 1}};
+  EXPECT_EQ(c.period_slots(), 6);
+  EXPECT_EQ(c.period(), 3_ms);
+  // Pattern 2 slots: slot 4 = D, slot 5 = U.
+  EXPECT_TRUE(c.dl_capable(4, 0));
+  EXPECT_TRUE(c.ul_capable(5, 0));
+  EXPECT_EQ(c.name(), "TDD-Common(DDDU+DU)");
+}
+
+TEST(TddCommonConfigTest, MinimalPatternsNeedMu2) {
+  // DU needs two slots in 0.5 ms -> impossible at µ1.
+  EXPECT_THROW(TddCommonConfig::du(kMu1), std::invalid_argument);
+}
+
+TEST(TddCommonConfigTest, FlexibleSlotsInLongPattern) {
+  // 2 ms at µ2 = 8 slots: 2 D + mixed + 1 U leaves 4 flexible (guard) slots.
+  const TddCommonConfig c{kMu2, TddPattern{2_ms, 2, 4, 4, 1}};
+  EXPECT_TRUE(c.dl_capable(0, 0));
+  EXPECT_TRUE(c.dl_capable(2, 0));       // partial DL symbols
+  EXPECT_FALSE(c.dl_capable(2, 4));
+  EXPECT_TRUE(c.ul_capable(6, 13));      // partial UL symbols in slot before U
+  EXPECT_FALSE(c.ul_capable(4, 7));      // interior flexible slot: neither
+  EXPECT_FALSE(c.dl_capable(4, 7));
+  EXPECT_TRUE(c.ul_capable(7, 0));
+}
+
+// ---------------------------------------------------------------------------
+// Slot formats
+
+TEST(SlotFormatTest, TableBasics) {
+  ASSERT_EQ(slot_format_table().size(), 46u);
+  EXPECT_EQ(slot_format(0).render(), "DDDDDDDDDDDDDD");
+  EXPECT_EQ(slot_format(1).render(), "UUUUUUUUUUUUUU");
+  EXPECT_EQ(slot_format(2).render(), "FFFFFFFFFFFFFF");
+  EXPECT_EQ(slot_format(28).render(), "DDDDDDDDDDDDFU");
+  EXPECT_THROW(slot_format(46), std::out_of_range);
+  EXPECT_THROW(slot_format(-1), std::out_of_range);
+}
+
+class SlotFormatIndexTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SlotFormatIndexTest, SelfConsistent) {
+  const SlotFormat& f = slot_format(GetParam());
+  EXPECT_EQ(f.index, GetParam());
+  const std::string r = f.render();
+  ASSERT_EQ(r.size(), 14u);
+  EXPECT_EQ(f.has_dl(), r.find('D') != std::string::npos);
+  EXPECT_EQ(f.has_ul(), r.find('U') != std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, SlotFormatIndexTest, ::testing::Range(0, 46));
+
+TEST(SlotFormatConfigTest, CyclicSequence) {
+  const SlotFormatConfig c{kMu1, {0, 0, 28, 1}};  // D D (DDDDDDDDDDDDFU) U
+  EXPECT_EQ(c.period_slots(), 4);
+  EXPECT_TRUE(c.dl_capable(0, 5));
+  EXPECT_TRUE(c.dl_capable(2, 0));
+  EXPECT_FALSE(c.dl_capable(2, 12));  // flexible: conservative neither
+  EXPECT_FALSE(c.ul_capable(2, 12));
+  EXPECT_TRUE(c.ul_capable(2, 13));
+  EXPECT_TRUE(c.ul_capable(3, 0));
+  // Cycles, including for negative slot indices.
+  EXPECT_TRUE(c.ul_capable(7, 0));
+  EXPECT_TRUE(c.ul_capable(-1, 0));
+  EXPECT_EQ(c.name(), "SlotFormat(0,0,28,1)");
+}
+
+TEST(SlotFormatConfigTest, EmptySequenceThrows) {
+  EXPECT_THROW((SlotFormatConfig{kMu1, {}}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Mini-slot & FDD
+
+TEST(MiniSlotTest, Granularity) {
+  const MiniSlotConfig c{kMu2, 2};
+  EXPECT_EQ(c.control_granularity_symbols(), 2);
+  EXPECT_EQ(c.period_slots(), 1);
+  EXPECT_TRUE(c.dl_capable(123, 7));
+  EXPECT_TRUE(c.ul_capable(-5, 0));
+}
+
+TEST(MiniSlotTest, LengthValidation) {
+  EXPECT_NO_THROW((MiniSlotConfig{kMu2, 2}));
+  EXPECT_NO_THROW((MiniSlotConfig{kMu2, 4}));
+  EXPECT_NO_THROW((MiniSlotConfig{kMu2, 7}));
+  EXPECT_THROW((MiniSlotConfig{kMu2, 3}), std::invalid_argument);
+  EXPECT_THROW((MiniSlotConfig{kMu2, 14}), std::invalid_argument);
+}
+
+TEST(MiniSlotTest, StandardsRecommendationFlag) {
+  // §5: the standard targets mini-slot at slot durations >= 0.5 ms.
+  EXPECT_TRUE(MiniSlotConfig(kMu2, 2).violates_standard_recommendation());
+  EXPECT_FALSE(MiniSlotConfig(kMu1, 2).violates_standard_recommendation());
+  EXPECT_FALSE(MiniSlotConfig(kMu0, 7).violates_standard_recommendation());
+}
+
+TEST(FddTest, FullDuplexEverywhere) {
+  const FddConfig c{kMu2};
+  EXPECT_TRUE(c.dl_capable(9, 9));
+  EXPECT_TRUE(c.ul_capable(9, 9));
+  EXPECT_EQ(c.render_period(), "XXXXXXXXXXXXXX");
+}
+
+TEST(FddTest, BandRestriction) {
+  EXPECT_TRUE(FddConfig::allowed_in_band(*find_band("n1")));
+  EXPECT_FALSE(FddConfig::allowed_in_band(band_n78()));
+}
+
+}  // namespace
+}  // namespace u5g
