@@ -5,18 +5,31 @@
 // Same testbed E2E run with a deliberately tight staging lead; only the OS
 // jitter model of the radio-bus path differs. The generic kernel's
 // preemption spikes corrupt slots and fatten the tail; PREEMPT_RT bounds
-// them.
+// them. Both kernel variants fan `--trials` replications across the
+// Monte-Carlo runner; the per-replication samples and miss counters merge
+// deterministically.
 
 #include <cstdio>
 
+#include "common/cli.hpp"
 #include "core/e2e_system.hpp"
 #include "core/reliability.hpp"
+#include "sim/runner.hpp"
 
 using namespace u5g;
 using namespace u5g::literals;
 
 namespace {
-constexpr int kPackets = 2000;
+
+struct Replication {
+  SampleSet lat;
+  std::uint64_t misses = 0;
+
+  void merge(const Replication& o) {
+    lat.merge(o.lat);
+    misses += o.misses;
+  }
+};
 
 struct Outcome {
   double mean_ms;
@@ -26,34 +39,50 @@ struct Outcome {
   double nines_at_3ms;
 };
 
-Outcome run(bool rt, std::uint64_t seed) {
+Replication run_one(bool rt, int packets, std::uint64_t seed) {
   E2eConfig cfg = E2eConfig::testbed(/*grant_free=*/false, seed);
   cfg.sched.radio_lead = Nanos{430'000};  // tight: little slack over the bus cost
   if (rt) cfg.gnb_radio.bus = cfg.gnb_radio.bus.with_rt_kernel();
   E2eSystem sys(std::move(cfg));
   Rng rng(seed + 777);
   const Nanos period = 2_ms;
-  for (int i = 0; i < kPackets; ++i) {
+  for (int i = 0; i < packets; ++i) {
     sys.send_downlink_at(period * (2 * i) +
                          Nanos{static_cast<std::int64_t>(
                              rng.uniform() * static_cast<double>(period.count()))});
   }
-  sys.run_until(period * (2 * kPackets + 40));
-  auto lat = sys.latency_samples_us(Direction::Downlink);
-  const auto rel = evaluate_reliability(lat, kPackets, 3_ms);
-  return {lat.mean() / 1e3, lat.quantile(0.99) / 1e3, lat.quantile(0.999) / 1e3,
-          sys.radio_deadline_misses(), rel.nines};
+  sys.run_until(period * (2 * packets + 40));
+  return {sys.latency_samples_us(Direction::Downlink), sys.radio_deadline_misses()};
+}
+
+Outcome run(bool rt, const BenchOptions& opt) {
+  Replication merged = merge_replications(run_replications(
+      opt.trials, opt.seed + (rt ? 1 : 0),
+      [&](int i, std::uint64_t seed) {
+        return run_one(rt, split_evenly(opt.packets, opt.trials, i), seed);
+      },
+      {opt.threads}));
+  const auto rel =
+      evaluate_reliability(merged.lat, static_cast<std::size_t>(opt.packets), 3_ms);
+  return {merged.lat.mean() / 1e3, merged.lat.quantile(0.99) / 1e3,
+          merged.lat.quantile(0.999) / 1e3, merged.misses, rel.nines};
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchOptions defaults;
+  defaults.packets = 2000;
+  defaults.trials = 8;
+  defaults.seed = 31;
+  const BenchOptions opt = parse_bench_options(argc, argv, defaults);
+
   std::printf("== Ablation A4: generic vs real-time kernel (DL, tight 430 us staging lead) ==\n\n");
   std::printf("   %-16s %9s %9s %9s %8s %14s\n", "kernel", "mean[ms]", "p99[ms]", "p99.9[ms]",
               "misses", "nines@3ms");
 
-  const Outcome generic = run(false, 31);
-  const Outcome rt = run(true, 31);
+  const Outcome generic = run(false, opt);
+  const Outcome rt = run(true, opt);
   std::printf("   %-16s %9.3f %9.3f %9.3f %8llu %14.2f\n", "generic", generic.mean_ms,
               generic.p99_ms, generic.p999_ms,
               static_cast<unsigned long long>(generic.misses), generic.nines_at_3ms);

@@ -10,20 +10,28 @@
 //     period (occasions serialised), the extra worst-case wait.
 //  3. Contention (simulated): the full multi-UE system under synchronised
 //     bursts — per-UE mean/p99 uplink latency vs the number of UEs, for
-//     grant-free and grant-based access.
+//     grant-free and grant-based access. The eight (UE count x access mode)
+//     simulations fan across the Monte-Carlo runner's pool.
 
 #include <cstdio>
 
+#include "common/cli.hpp"
 #include "common/rng.hpp"
 #include "core/e2e_system.hpp"
 #include "mac/configured_grant.hpp"
+#include "sim/runner.hpp"
 #include "tdd/common_config.hpp"
 #include "tdd/opportunity.hpp"
 
 using namespace u5g;
 using namespace u5g::literals;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchOptions defaults;
+  defaults.packets = 60;  // synchronised bursts per simulated point
+  defaults.seed = 70;
+  const BenchOptions opt = parse_bench_options(argc, argv, defaults);
+
   std::printf("== Ablation A6: grant-free scalability on the DM configuration (u=2) ==\n\n");
 
   const TddCommonConfig dm = TddCommonConfig::dm(kMu2);
@@ -83,26 +91,39 @@ int main() {
   }
 
   // Simulated contention: synchronised uplink bursts on the testbed config.
+  // Fan the (UE count x access mode) grid across the pool; legacy per-point
+  // seeds (70+n grant-free, 90+n grant-based by default).
   std::printf("\n-- simulated: per-UE uplink latency under synchronised bursts (testbed) --\n");
   std::printf("   %6s | %18s | %18s\n", "UEs", "grant-free", "grant-based");
   std::printf("   %6s | %8s %9s | %8s %9s\n", "", "mean[ms]", "p99[ms]", "mean[ms]", "p99[ms]");
-  auto simulate = [](int n_ues, bool grant_free, std::uint64_t seed) {
+  const auto simulate = [&](int n_ues, bool grant_free, std::uint64_t seed) {
     E2eConfig cfg = E2eConfig::testbed(grant_free, seed);
     cfg.num_ues = n_ues;
     E2eSystem sys(std::move(cfg));
     const Nanos pattern = 2_ms;
-    for (int i = 0; i < 60; ++i) {
+    for (int i = 0; i < opt.packets; ++i) {
       for (int ue = 0; ue < n_ues; ++ue) {
         sys.send_uplink_at(pattern * (4 * i) + Nanos{100'000}, ue);
       }
     }
-    sys.run_until(pattern * 4 * 80);
+    sys.run_until(pattern * 4 * (opt.packets + 20));
     return sys.latency_samples_us(Direction::Uplink);
   };
+  const int ue_counts[] = {1, 2, 4, 8};
+  auto lats = run_replications(
+      8, opt.seed,
+      [&](int i, std::uint64_t) {
+        const int n = ue_counts[i % 4];
+        const bool grant_free = i < 4;
+        const std::uint64_t seed = opt.seed + (grant_free ? 0 : 20) + static_cast<std::uint64_t>(n);
+        return simulate(n, grant_free, seed);
+      },
+      {opt.threads});
   double gf1 = 0.0, gf8 = 0.0;
-  for (int n : {1, 2, 4, 8}) {
-    auto gf_lat = simulate(n, true, 70 + static_cast<std::uint64_t>(n));
-    auto gb_lat = simulate(n, false, 90 + static_cast<std::uint64_t>(n));
+  for (int i = 0; i < 4; ++i) {
+    const int n = ue_counts[i];
+    auto& gf_lat = lats[static_cast<std::size_t>(i)];
+    auto& gb_lat = lats[static_cast<std::size_t>(i + 4)];
     std::printf("   %6d | %8.3f %9.3f | %8.3f %9.3f\n", n, gf_lat.mean() / 1e3,
                 gf_lat.quantile(0.99) / 1e3, gb_lat.mean() / 1e3, gb_lat.quantile(0.99) / 1e3);
     if (n == 1) gf1 = gf_lat.mean();

@@ -6,37 +6,46 @@
 // Expected shape (paper): DL mass around 1-3 ms in both; grant-based UL
 // shifted right of grant-free UL by roughly one TDD period (2 ms), UL tail
 // reaching several ms; URLLC requirements clearly not met.
-
-// Pass an output directory as argv[1] to additionally dump the histogram
-// series as CSV (fig6a.csv, fig6b.csv) for plotting.
+//
+// The workload fans `--trials` independent replications (each `--packets /
+// --trials` packets, seeds from the SplitMix64 stream rooted at `--seed`)
+// across `--threads` workers and merges the per-replication SampleSets in
+// replication order, so the merged statistics are identical at any thread
+// count. Pass `--out DIR` (or a positional DIR) to additionally dump the
+// histogram series as CSV (fig6a.csv, fig6b.csv) for plotting.
 
 #include <cstdio>
 #include <optional>
 #include <string>
 
+#include "common/cli.hpp"
 #include "common/csv.hpp"
 #include "core/e2e_system.hpp"
+#include "sim/runner.hpp"
 
 using namespace u5g;
 using namespace u5g::literals;
 
 namespace {
 
-constexpr int kPackets = 2000;
-
 struct RunOutput {
   SampleSet dl;
   SampleSet ul;
+
+  void merge(const RunOutput& o) {
+    dl.merge(o.dl);
+    ul.merge(o.ul);
+  }
 };
 
-RunOutput run(bool grant_free, std::uint64_t seed) {
+RunOutput run_one(bool grant_free, int packets, std::uint64_t seed) {
   E2eSystem sys(E2eConfig::testbed(grant_free, seed));
   const Nanos period = 2_ms;  // DDDU at 0.5 ms slots
   Rng rng(seed ^ 0xF16);
   // One UL and one DL packet per pattern, at independent uniform offsets;
   // patterns spaced out so packets do not queue behind each other (the
   // paper's ping workload is sparse).
-  for (int i = 0; i < kPackets; ++i) {
+  for (int i = 0; i < packets; ++i) {
     const Nanos base = period * (2 * i);
     sys.send_uplink_at(base + Nanos{static_cast<std::int64_t>(
                                   rng.uniform() * static_cast<double>(period.count()))});
@@ -44,8 +53,17 @@ RunOutput run(bool grant_free, std::uint64_t seed) {
                          Nanos{static_cast<std::int64_t>(
                              rng.uniform() * static_cast<double>(period.count()))});
   }
-  sys.run_until(period * (2 * kPackets + 20));
+  sys.run_until(period * (2 * packets + 20));
   return {sys.latency_samples_us(Direction::Downlink), sys.latency_samples_us(Direction::Uplink)};
+}
+
+RunOutput run(bool grant_free, const BenchOptions& opt) {
+  return merge_replications(run_replications(
+      opt.trials, opt.seed + (grant_free ? 1 : 0),
+      [&](int i, std::uint64_t seed) {
+        return run_one(grant_free, split_evenly(opt.packets, opt.trials, i), seed);
+      },
+      {opt.threads}));
 }
 
 void maybe_write_csv(const std::optional<std::string>& dir, const char* file, SampleSet& dl,
@@ -84,17 +102,23 @@ void print_histogram(const char* title, SampleSet& dl, SampleSet& ul) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::printf("== Fig 6: one-way latency on the testbed configuration (DDDU, 0.5 ms slots) ==\n\n");
-  const std::optional<std::string> csv_dir =
-      argc > 1 ? std::optional<std::string>{argv[1]} : std::nullopt;
+  BenchOptions defaults;
+  defaults.packets = 2000;
+  defaults.trials = 8;
+  defaults.seed = 42;
+  const BenchOptions opt = parse_bench_options(argc, argv, defaults);
 
-  auto gb = run(/*grant_free=*/false, 42);
+  std::printf("== Fig 6: one-way latency on the testbed configuration (DDDU, 0.5 ms slots) ==\n");
+  std::printf("   (%d packets over %d replications, root seed %llu, %d threads)\n\n", opt.packets,
+              opt.trials, static_cast<unsigned long long>(opt.seed), resolve_threads(opt.threads));
+
+  auto gb = run(/*grant_free=*/false, opt);
   print_histogram("(a) grant-based UL", gb.dl, gb.ul);
-  maybe_write_csv(csv_dir, "fig6a.csv", gb.dl, gb.ul);
+  maybe_write_csv(opt.out_dir, "fig6a.csv", gb.dl, gb.ul);
 
-  auto gf = run(/*grant_free=*/true, 43);
+  auto gf = run(/*grant_free=*/true, opt);
   print_histogram("(b) grant-free UL", gf.dl, gf.ul);
-  maybe_write_csv(csv_dir, "fig6b.csv", gf.dl, gf.ul);
+  maybe_write_csv(opt.out_dir, "fig6b.csv", gf.dl, gf.ul);
 
   const double gap_ms = (gb.ul.mean() - gf.ul.mean()) / 1e3;
   std::printf("grant-based minus grant-free mean UL latency: %.2f ms "

@@ -6,12 +6,15 @@
 // Full E2E runs at µ3 (FR2) with a fast PCIe radio and lean stack — latency
 // is excellent while the line-of-sight holds — under increasingly hostile
 // blockage. The metric is the paper's: fraction of offered packets delivered
-// within the deadline.
+// within the deadline. Each blockage case fans `--trials` replications
+// across the Monte-Carlo runner and merges their latency samples.
 
 #include <cstdio>
 
+#include "common/cli.hpp"
 #include "core/e2e_system.hpp"
 #include "core/reliability.hpp"
+#include "sim/runner.hpp"
 #include "tdd/common_config.hpp"
 
 using namespace u5g;
@@ -19,15 +22,14 @@ using namespace u5g::literals;
 
 namespace {
 
-constexpr int kPackets = 2000;
-
 struct Outcome {
   double delivered_frac;
   double sub_ms_frac;     ///< of offered: delivered within 1 ms one-way
   double p50_ms;
 };
 
-Outcome run(std::optional<MmWaveBlockage::Params> blockage, std::uint64_t seed) {
+SampleSet run_one(std::optional<MmWaveBlockage::Params> blockage, int packets,
+                  std::uint64_t seed) {
   E2eConfig cfg;
   cfg.duplex = std::make_shared<TddCommonConfig>(TddCommonConfig::dddu(kMu3));
   cfg.grant_free = true;
@@ -48,22 +50,40 @@ Outcome run(std::optional<MmWaveBlockage::Params> blockage, std::uint64_t seed) 
 
   Rng rng(seed + 1);
   const Nanos spacing = 2_ms;
-  for (int i = 0; i < kPackets; ++i) {
+  for (int i = 0; i < packets; ++i) {
     sys.send_downlink_at(spacing * i + Nanos{static_cast<std::int64_t>(rng.uniform() * 5e5)});
   }
-  sys.run_until(spacing * (kPackets + 100));
+  sys.run_until(spacing * (packets + 100));
+  return sys.latency_samples_us(Direction::Downlink);
+}
 
-  auto lat = sys.latency_samples_us(Direction::Downlink);
-  const auto rel = evaluate_reliability(lat, kPackets, 1_ms);
-  return {static_cast<double>(lat.count()) / kPackets, rel.fraction_within,
+Outcome run(std::optional<MmWaveBlockage::Params> blockage, std::uint64_t root_seed,
+            const BenchOptions& opt) {
+  SampleSet lat = merge_replications(run_replications(
+      opt.trials, root_seed,
+      [&](int i, std::uint64_t seed) {
+        return run_one(blockage, split_evenly(opt.packets, opt.trials, i), seed);
+      },
+      {opt.threads}));
+  const auto rel = evaluate_reliability(lat, static_cast<std::size_t>(opt.packets), 1_ms);
+  return {static_cast<double>(lat.count()) / opt.packets, rel.fraction_within,
           lat.quantile(0.5) / 1e3};
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchOptions defaults;
+  defaults.packets = 2000;
+  defaults.trials = 8;
+  defaults.seed = 400;
+  const BenchOptions opt = parse_bench_options(argc, argv, defaults);
+
   std::printf("== FR2 end-to-end: latency is easy, reliability is the wall (cf. [19]) ==\n\n");
-  std::printf("µ3 DDDU, PCIe radio, hardware-lean stack; DL packets every 2 ms.\n\n");
+  std::printf("µ3 DDDU, PCIe radio, hardware-lean stack; DL packets every 2 ms.\n");
+  std::printf("(%d packets over %d replications per case, root seed %llu, %d threads)\n\n",
+              opt.packets, opt.trials, static_cast<unsigned long long>(opt.seed),
+              resolve_threads(opt.threads));
   std::printf("   %-34s %11s %12s %9s\n", "channel", "delivered", "sub-ms frac", "p50[ms]");
 
   struct Case {
@@ -81,7 +101,7 @@ int main() {
   double clear_subms = 0.0;
   double hostile_subms = 1.0;
   for (std::size_t i = 0; i < std::size(cases); ++i) {
-    const Outcome o = run(cases[i].blockage, 400 + i);
+    const Outcome o = run(cases[i].blockage, opt.seed + i, opt);
     std::printf("   %-34s %10.2f%% %11.2f%% %9.3f\n", cases[i].label, o.delivered_frac * 100,
                 o.sub_ms_frac * 100, o.p50_ms);
     if (i == 0) clear_subms = o.sub_ms_frac;

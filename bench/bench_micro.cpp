@@ -2,18 +2,31 @@
 // event kernel, the protocol entities, the opportunity queries, and the
 // analytic engine. These guard the simulator's performance — a full Fig 6
 // run schedules hundreds of thousands of events.
+//
+// `bench_micro --json out.json` emits the machine-readable google-benchmark
+// JSON (shorthand for --benchmark_out=out.json --benchmark_out_format=json)
+// so the perf trajectory (BENCH_*.json) can track kernel ops/sec and
+// end-to-end bench wall-clock across commits.
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "core/e2e_system.hpp"
 #include "core/latency_model.hpp"
 #include "pdcp/pdcp_entity.hpp"
 #include "rlc/rlc_entity.hpp"
+#include "sim/runner.hpp"
 #include "sim/simulator.hpp"
 #include "tdd/common_config.hpp"
 #include "tdd/opportunity.hpp"
 
 using namespace u5g;
+using namespace u5g::literals;
 
 namespace {
 
@@ -30,6 +43,87 @@ void BM_SimulatorScheduleFire(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_SimulatorScheduleFire);
+
+// The bench-suite mix: schedule bursts, cancel a fraction (HARQ timers and
+// periodic re-arms behave like this), fire the rest. Items = all three ops.
+void BM_SimulatorScheduleFireCancelMix(benchmark::State& state) {
+  Rng rng(7);
+  for (auto _ : state) {
+    Simulator sim;
+    std::vector<EventHandle> handles;
+    handles.reserve(1000);
+    int fired = 0;
+    int cancelled = 0;
+    for (int i = 0; i < 1000; ++i) {
+      handles.push_back(sim.schedule_at(Nanos{static_cast<std::int64_t>(rng.uniform_int(100'000))},
+                                        [&fired] { ++fired; }));
+    }
+    for (std::size_t i = 0; i < handles.size(); i += 3) {  // tombstone a third
+      cancelled += sim.cancel(handles[i]) ? 1 : 0;
+    }
+    sim.run_until();
+    benchmark::DoNotOptimize(fired);
+    benchmark::DoNotOptimize(cancelled);
+  }
+  state.SetItemsProcessed(state.iterations() * (1000 + 1000 / 3));
+}
+BENCHMARK(BM_SimulatorScheduleFireCancelMix);
+
+// Steady-state self-rescheduling chain (the PeriodicProcess pattern): the
+// queue stays tiny, so this isolates per-event overhead from heap growth.
+void BM_SimulatorPeriodicChain(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    long ticks = 0;
+    struct Chain {
+      Simulator& sim;
+      long& ticks;
+      void operator()() const {
+        ++ticks;
+        if (ticks % 10'000 != 0) sim.schedule_after(Nanos{100}, Chain{sim, ticks});
+      }
+    };
+    sim.schedule_at(Nanos::zero(), Chain{sim, ticks});
+    sim.run_until();
+    benchmark::DoNotOptimize(ticks);
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_SimulatorPeriodicChain);
+
+// End-to-end wall-clock proxy: one small testbed Fig-6-style run. Tracks the
+// full-stack cost per packet, the number the parallel runner multiplies.
+void BM_E2eTestbedRun(benchmark::State& state) {
+  const int packets = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    E2eSystem sys(E2eConfig::testbed(/*grant_free=*/true, 42));
+    Rng rng(42 ^ 0xF16);
+    const Nanos period = 2_ms;
+    for (int i = 0; i < packets; ++i) {
+      sys.send_uplink_at(period * (2 * i) +
+                         Nanos{static_cast<std::int64_t>(
+                             rng.uniform() * static_cast<double>(period.count()))});
+    }
+    sys.run_until(period * (2 * packets + 20));
+    benchmark::DoNotOptimize(sys.records().size());
+  }
+  state.SetItemsProcessed(state.iterations() * packets);
+}
+BENCHMARK(BM_E2eTestbedRun)->Arg(50);
+
+// Fan-out overhead of the Monte-Carlo runner itself: trivial replications,
+// so the measured time is pool setup + dispatch + merge bookkeeping.
+void BM_RunnerFanOut(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto results = run_replications(
+        n, 1, [](int i, std::uint64_t seed) { return static_cast<double>(seed >> 32) + i; },
+        {0});
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RunnerFanOut)->Arg(16);
 
 void BM_PdcpProtectVerify(benchmark::State& state) {
   PdcpTx tx;
@@ -85,4 +179,26 @@ BENCHMARK(BM_WorstCaseSweep);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Expand `--json FILE` into google-benchmark's out flags before Initialize
+  // sees the command line.
+  std::vector<std::string> args;
+  for (int i = 0; i < argc; ++i) {
+    if (i + 1 < argc && std::strcmp(argv[i], "--json") == 0) {
+      args.push_back("--benchmark_out=" + std::string(argv[i + 1]));
+      args.push_back("--benchmark_out_format=json");
+      ++i;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  std::vector<char*> cargs;
+  cargs.reserve(args.size());
+  for (std::string& a : args) cargs.push_back(a.data());
+  int cargc = static_cast<int>(cargs.size());
+  benchmark::Initialize(&cargc, cargs.data());
+  if (benchmark::ReportUnrecognizedArguments(cargc, cargs.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

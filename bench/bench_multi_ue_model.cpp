@@ -2,15 +2,18 @@
 // against the full event simulation. The paper poses "how to mathematically
 // model the latency for multiple UEs" as an open problem; this bench runs
 // the closed-form M/D/1-on-protocol-geometry model side by side with the
-// simulator across UE counts and offered loads.
+// simulator across UE counts and offered loads, fanning the (UEs, load)
+// cases across the Monte-Carlo runner's pool with the legacy per-case seeds.
 
 #include <algorithm>
 #include <cstdio>
 #include <vector>
 
+#include "common/cli.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "core/multi_ue_model.hpp"
+#include "sim/runner.hpp"
 #include "tdd/common_config.hpp"
 #include "tdd/opportunity.hpp"
 
@@ -24,9 +27,8 @@ namespace {
 /// slot geometry (windows packed back-to-back, as the scheduler's booking
 /// serialises them). No processing or radio terms: protocol + queueing only.
 double simulate_mean_ul_us(const DuplexConfig& duplex, int n_ues, double per_ue_pps,
-                           int tx_symbols, std::uint64_t seed) {
+                           int tx_symbols, double horizon_s, std::uint64_t seed) {
   Rng rng(seed);
-  const double horizon_s = 4.0;
   std::vector<Nanos> arrivals;
   for (int ue = 0; ue < n_ues; ++ue) {
     double t = 0.0;
@@ -52,7 +54,13 @@ double simulate_mean_ul_us(const DuplexConfig& duplex, int n_ues, double per_ue_
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchOptions defaults;
+  defaults.packets = 4000;  // scales the simulated horizon (packets at 1000 pps)
+  defaults.seed = 500;
+  const BenchOptions opt = parse_bench_options(argc, argv, defaults);
+  const double horizon_s = static_cast<double>(opt.packets) / 1000.0;
+
   std::printf("== X4: analytical multi-UE latency model vs simulation (DM, grant-free) ==\n\n");
 
   const TddCommonConfig dm = TddCommonConfig::dm(kMu2);
@@ -61,20 +69,35 @@ int main() {
   std::printf("   %4s %10s %6s | %12s %12s %10s | %12s | %7s\n", "UEs", "pps/UE", "rho",
               "proto[us]", "queue[us]", "model[us]", "sim[us]", "err");
 
-  bool all_close = true;
   struct Case {
     int ues;
     double pps;
   };
   const Case cases[] = {{1, 200}, {2, 400}, {4, 400}, {8, 400}, {8, 800}, {12, 800}};
+
+  struct Row {
+    MultiUeModelResult model{};
+    double sim = 0.0;
+  };
+  const auto rows = run_replications(
+      static_cast<int>(std::size(cases)), opt.seed,
+      [&](int i, std::uint64_t) {
+        const Case& c = cases[static_cast<std::size_t>(i)];
+        MultiUeModelInput in;
+        in.num_ues = c.ues;
+        in.per_ue_packets_per_second = c.pps;
+        in.tx_symbols = 2;
+        Row row;
+        row.model = predict_multi_ue_latency(dm, in);
+        row.sim = simulate_mean_ul_us(dm, c.ues, c.pps, 2, horizon_s,
+                                      opt.seed + static_cast<std::uint64_t>(i));
+        return row;
+      },
+      {opt.threads});
+
+  bool all_close = true;
   for (std::size_t i = 0; i < std::size(cases); ++i) {
-    MultiUeModelInput in;
-    in.num_ues = cases[i].ues;
-    in.per_ue_packets_per_second = cases[i].pps;
-    in.tx_symbols = 2;
-    const auto model = predict_multi_ue_latency(dm, in);
-    const double sim =
-        simulate_mean_ul_us(dm, cases[i].ues, cases[i].pps, 2, 500 + i);
+    const auto& [model, sim] = rows[i];
     if (!model.stable) {
       std::printf("   %4d %10.0f %6.2f | %12.1f %12s %10s | %12.1f | %7s\n", cases[i].ues,
                   cases[i].pps, model.utilisation, model.protocol_mean.us(), "-", "UNSTABLE",

@@ -2,14 +2,18 @@
 // pre-allocation wastes every unused occasion; the predictor allocates one
 // just-in-time occasion per expected packet. This bench compares the two on
 // a periodic URLLC workload with timing jitter: reserved windows per second,
-// wasted fraction, and the latency each packet actually sees.
+// wasted fraction, and the latency each packet actually sees. The jitter
+// sweep points run concurrently on the Monte-Carlo runner's pool with the
+// legacy per-point seeds (900 + jitter in µs).
 
 #include <cstdio>
 
+#include "common/cli.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "mac/configured_grant.hpp"
 #include "mac/predictive_cg.hpp"
+#include "sim/runner.hpp"
 #include "tdd/common_config.hpp"
 
 using namespace u5g;
@@ -17,17 +21,16 @@ using namespace u5g::literals;
 
 namespace {
 
-constexpr int kPackets = 4000;
 constexpr Nanos kStackLead{60'000};  // APP->MAC traversal before the occasion
 
 struct Workload {
   std::vector<Nanos> arrivals;
 };
 
-Workload make_workload(Nanos period, Nanos jitter_std, std::uint64_t seed) {
+Workload make_workload(int packets, Nanos period, Nanos jitter_std, std::uint64_t seed) {
   Workload w;
   Rng rng(seed);
-  for (int i = 0; i < kPackets; ++i) {
+  for (int i = 0; i < packets; ++i) {
     const auto jitter =
         static_cast<std::int64_t>(rng.normal(0.0, static_cast<double>(jitter_std.count())));
     w.arrivals.push_back(period * (i + 1) + Nanos{jitter});
@@ -98,7 +101,12 @@ Outcome run_predictive(const DuplexConfig& cfg, const Workload& w) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchOptions defaults;
+  defaults.packets = 4000;
+  defaults.seed = 900;
+  const BenchOptions opt = parse_bench_options(argc, argv, defaults);
+
   std::printf("== X5: predictive vs static grant-free allocation (DM, u2) ==\n\n");
   const TddCommonConfig dm = TddCommonConfig::dm(kMu2);
 
@@ -107,12 +115,26 @@ int main() {
   std::printf("   %12s | %9s %10s | %9s %10s | %9s\n", "jitter[us]", "static", "predictive",
               "static", "predictive", "fallbacks");
 
+  const Nanos jitters[] = {0_us, 20_us, 50_us, 100_us};
+  struct Row {
+    Outcome st{};
+    Outcome pr{};
+  };
+  const auto rows = run_replications(
+      static_cast<int>(std::size(jitters)), opt.seed,
+      [&](int i, std::uint64_t) {
+        const Nanos jitter = jitters[static_cast<std::size_t>(i)];
+        const Workload w = make_workload(opt.packets, 1_ms, jitter,
+                                         opt.seed + static_cast<std::uint64_t>(jitter.us()));
+        return Row{run_static(dm, w), run_predictive(dm, w)};
+      },
+      {opt.threads});
+
   bool waste_cut = true;
   bool latency_close = true;
-  for (const Nanos jitter : {0_us, 20_us, 50_us, 100_us}) {
-    const Workload w = make_workload(1_ms, jitter, 900 + static_cast<std::uint64_t>(jitter.us()));
-    const Outcome st = run_static(dm, w);
-    const Outcome pr = run_predictive(dm, w);
+  for (std::size_t i = 0; i < std::size(jitters); ++i) {
+    const Nanos jitter = jitters[i];
+    const auto& [st, pr] = rows[i];
     std::printf("   %12.0f | %9.0f %10.0f | %9.0f %10.0f | %9d\n", jitter.us(),
                 st.reserved_per_s, pr.reserved_per_s, st.mean_latency_us, pr.mean_latency_us,
                 pr.fallback_count);

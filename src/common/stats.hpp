@@ -2,11 +2,18 @@
 // Online statistics used by the measurement harnesses: running mean/std
 // (Welford), fixed-bin histograms for latency distributions (Fig 6), and
 // exact percentiles over retained samples for reliability analysis (§6).
+//
+// Every accumulator is mergeable: `a.merge(b)` equals having fed b's samples
+// into `a` after a's own (for SampleSet, in b's insertion order). The
+// parallel Monte-Carlo runner (sim/runner.hpp) relies on this to combine
+// per-replication accumulators in index order, making merged statistics
+// independent of the thread count.
 
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -81,6 +88,16 @@ class Histogram {
   }
   [[nodiscard]] std::uint64_t total() const { return total_; }
 
+  /// Merge a histogram with the identical binning (lo, hi, bin count);
+  /// throws std::invalid_argument on a geometry mismatch.
+  void merge(const Histogram& o) {
+    if (lo_ != o.lo_ || hi_ != o.hi_ || bins_.size() != o.bins_.size()) {
+      throw std::invalid_argument{"Histogram::merge: binning mismatch"};
+    }
+    for (std::size_t i = 0; i < bins_.size(); ++i) bins_[i] += o.bins_[i];
+    total_ += o.total_;
+  }
+
  private:
   double lo_;
   double hi_;
@@ -131,6 +148,14 @@ class SampleSet {
   }
 
   [[nodiscard]] const std::vector<double>& samples() const { return xs_; }
+
+  /// Append another set's samples in their insertion order, so a merged set
+  /// is byte-identical to one serial accumulation over the same stream.
+  void merge(const SampleSet& o) {
+    if (o.xs_.empty()) return;
+    xs_.insert(xs_.end(), o.xs_.begin(), o.xs_.end());
+    sorted_ = false;
+  }
 
  private:
   void sort() {

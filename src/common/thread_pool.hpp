@@ -1,0 +1,111 @@
+#pragma once
+// Fixed-size worker pool for fanning independent jobs across cores.
+//
+// The Monte-Carlo harness (sim/runner.hpp) submits one job per replication;
+// workers drain a FIFO queue. The pool deliberately has no futures or
+// per-job synchronisation — callers write results into pre-sized storage
+// indexed by replication and `wait_idle()` once, which keeps the fan-out
+// overhead negligible next to a single E2eSystem run.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace u5g {
+
+class ThreadPool {
+ public:
+  /// Spin up `threads` workers (>= 1).
+  explicit ThreadPool(int threads) {
+    if (threads < 1) threads = 1;
+    workers_.reserve(static_cast<std::size_t>(threads));
+    for (int i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      stop_ = true;
+    }
+    cv_job_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueue a job. Jobs must not submit further jobs and then destroy the
+  /// pool from inside the pool (the usual fork-join discipline).
+  void submit(std::function<void()> job) {
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      jobs_.push_back(std::move(job));
+    }
+    cv_job_.notify_one();
+  }
+
+  /// Block until the queue is empty and every worker is idle. If any job
+  /// threw, rethrows the first captured exception (remaining jobs still ran).
+  void wait_idle() {
+    std::unique_lock<std::mutex> lk(m_);
+    cv_idle_.wait(lk, [this] { return jobs_.empty() && in_flight_ == 0; });
+    if (first_error_) {
+      std::exception_ptr e = std::exchange(first_error_, nullptr);
+      lk.unlock();
+      std::rethrow_exception(e);
+    }
+  }
+
+  /// Hardware concurrency with a sane floor of 1.
+  static int hardware_threads() {
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<int>(n);
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> job;
+      {
+        std::unique_lock<std::mutex> lk(m_);
+        cv_job_.wait(lk, [this] { return stop_ || !jobs_.empty(); });
+        if (jobs_.empty()) return;  // stop_ and drained
+        job = std::move(jobs_.front());
+        jobs_.pop_front();
+        ++in_flight_;
+      }
+      try {
+        job();
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(m_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> lk(m_);
+        --in_flight_;
+        if (jobs_.empty() && in_flight_ == 0) cv_idle_.notify_all();
+      }
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> jobs_;
+  std::mutex m_;
+  std::condition_variable cv_job_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace u5g

@@ -1,5 +1,8 @@
 #include "core/design_space.hpp"
 
+#include <iterator>
+
+#include "sim/runner.hpp"
 #include "tdd/common_config.hpp"
 #include "tdd/fdd.hpp"
 #include "tdd/mini_slot.hpp"
@@ -25,10 +28,35 @@ std::vector<std::unique_ptr<DuplexConfig>> candidates_at(Numerology num) {
   return v;
 }
 
+/// All design points of one numerology, in candidate x access-mode order.
+std::vector<DesignPoint> points_at(Numerology num, const DesignSpaceOptions& opt) {
+  std::vector<DesignPoint> out;
+  for (const auto& cfg : candidates_at(num)) {
+    const auto dl = analyze_worst_case(*cfg, AccessMode::Downlink, opt.model);
+    for (AccessMode ul : {AccessMode::GrantFreeUl, AccessMode::GrantBasedUl}) {
+      const auto wc = analyze_worst_case(*cfg, ul, opt.model);
+      DesignPoint pt;
+      pt.config_name = cfg->name();
+      pt.mu = num.mu();
+      pt.ul_mode = ul;
+      pt.worst_ul = wc.worst;
+      pt.worst_dl = dl.worst;
+      pt.meets_deadline = wc.feasible && dl.feasible && wc.worst <= opt.deadline &&
+                          dl.worst <= opt.deadline;
+      pt.available_to_private_5g = dynamic_cast<const FddConfig*>(cfg.get()) == nullptr;
+      if (const auto* ms = dynamic_cast<const MiniSlotConfig*>(cfg.get())) {
+        pt.standards_caveat = ms->violates_standard_recommendation();
+      }
+      pt.processing_radio_budget = num.slot_duration();
+      out.push_back(pt);
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 std::vector<DesignPoint> explore_design_space(const DesignSpaceOptions& opt) {
-  std::vector<DesignPoint> out;
   std::vector<Numerology> nums;
   if (opt.fr1_only) {
     for (Numerology n : numerologies_in_fr1()) nums.push_back(n);
@@ -36,27 +64,16 @@ std::vector<DesignPoint> explore_design_space(const DesignSpaceOptions& opt) {
     for (int mu = 0; mu <= 6; ++mu) nums.push_back(Numerology{mu});
   }
 
-  for (Numerology num : nums) {
-    for (const auto& cfg : candidates_at(num)) {
-      const auto dl = analyze_worst_case(*cfg, AccessMode::Downlink, opt.model);
-      for (AccessMode ul : {AccessMode::GrantFreeUl, AccessMode::GrantBasedUl}) {
-        const auto wc = analyze_worst_case(*cfg, ul, opt.model);
-        DesignPoint pt;
-        pt.config_name = cfg->name();
-        pt.mu = num.mu();
-        pt.ul_mode = ul;
-        pt.worst_ul = wc.worst;
-        pt.worst_dl = dl.worst;
-        pt.meets_deadline = wc.feasible && dl.feasible && wc.worst <= opt.deadline &&
-                            dl.worst <= opt.deadline;
-        pt.available_to_private_5g = dynamic_cast<const FddConfig*>(cfg.get()) == nullptr;
-        if (const auto* ms = dynamic_cast<const MiniSlotConfig*>(cfg.get())) {
-          pt.standards_caveat = ms->violates_standard_recommendation();
-        }
-        pt.processing_radio_budget = num.slot_duration();
-        out.push_back(pt);
-      }
-    }
+  // Fan the per-numerology evaluation across the pool; flattening in
+  // numerology order reproduces the serial loop's output exactly.
+  auto parts = run_replications(
+      static_cast<int>(nums.size()), /*root_seed=*/0,
+      [&](int i, std::uint64_t) { return points_at(nums[static_cast<std::size_t>(i)], opt); },
+      {opt.threads});
+  std::vector<DesignPoint> out;
+  for (auto& part : parts) {
+    out.insert(out.end(), std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()));
   }
   return out;
 }

@@ -35,6 +35,10 @@ struct DesignSpaceOptions {
   Nanos deadline = kUrllcOneWayDeadline;
   LatencyModelParams model{};
   bool fr1_only = true;  ///< the paper's scope: FR2 fails reliability
+  /// Workers for the per-numerology fan-out (0 = hardware concurrency).
+  /// The result is identical at any thread count: points are collected in
+  /// numerology order, exactly as the serial loop emitted them.
+  int threads = 0;
 };
 
 /// Enumerate and evaluate every candidate design point.

@@ -1,0 +1,106 @@
+#pragma once
+// Small-buffer-optimised, move-only callable used for simulator events.
+//
+// A Fig-6-scale run schedules hundreds of thousands of events whose closures
+// capture one to three words (a `this`, a timestamp, a packet id). With
+// `std::function` each of those costs a heap allocation; `Action` stores any
+// nothrow-movable callable of up to `kInlineSize` bytes directly in the event
+// slot and falls back to the heap only for oversized captures.
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace u5g {
+
+/// Type-erased `void()` callable with inline storage for small captures.
+class Action {
+ public:
+  /// Inline capacity: six words, enough for small lambda captures and for a
+  /// whole `std::function` handed down from legacy call sites.
+  static constexpr std::size_t kInlineSize = 6 * sizeof(void*);
+
+  Action() = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, Action> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  Action(F&& f) {  // NOLINT(google-explicit-constructor): mirrors std::function
+    emplace(std::forward<F>(f));
+  }
+
+  Action(Action&& o) noexcept { move_from(o); }
+  Action& operator=(Action&& o) noexcept {
+    if (this != &o) {
+      reset();
+      move_from(o);
+    }
+    return *this;
+  }
+  Action(const Action&) = delete;
+  Action& operator=(const Action&) = delete;
+  ~Action() { reset(); }
+
+  void operator()() { ops_->invoke(buf_); }
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+
+  /// Destroy the stored callable (releases captured resources eagerly).
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*relocate)(void* src, void* dst) noexcept;  ///< move to dst, destroy src
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename Fn>
+  static constexpr bool kFitsInline = sizeof(Fn) <= kInlineSize &&
+                                      alignof(Fn) <= alignof(std::max_align_t) &&
+                                      std::is_nothrow_move_constructible_v<Fn>;
+
+  template <typename F>
+  void emplace(F&& f) {
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (kFitsInline<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      static constexpr Ops ops{
+          [](void* p) { (*std::launder(reinterpret_cast<Fn*>(p)))(); },
+          [](void* src, void* dst) noexcept {
+            Fn* s = std::launder(reinterpret_cast<Fn*>(src));
+            ::new (dst) Fn(std::move(*s));
+            s->~Fn();
+          },
+          [](void* p) noexcept { std::launder(reinterpret_cast<Fn*>(p))->~Fn(); }};
+      ops_ = &ops;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      static constexpr Ops ops{
+          [](void* p) { (**std::launder(reinterpret_cast<Fn**>(p)))(); },
+          [](void* src, void* dst) noexcept {
+            ::new (dst) Fn*(*std::launder(reinterpret_cast<Fn**>(src)));
+          },
+          [](void* p) noexcept { delete *std::launder(reinterpret_cast<Fn**>(p)); }};
+      ops_ = &ops;
+    }
+  }
+
+  void move_from(Action& o) noexcept {
+    if (o.ops_ != nullptr) {
+      ops_ = o.ops_;
+      ops_->relocate(o.buf_, buf_);
+      o.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte buf_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace u5g

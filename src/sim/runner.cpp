@@ -1,0 +1,9 @@
+#include "sim/runner.hpp"
+
+namespace u5g {
+
+int resolve_threads(int requested) {
+  return requested >= 1 ? requested : ThreadPool::hardware_threads();
+}
+
+}  // namespace u5g

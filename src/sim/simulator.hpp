@@ -4,19 +4,28 @@
 // The whole 5G system model runs on one simulated clock. Components schedule
 // callbacks at absolute times; the kernel pops them in (time, sequence) order
 // so same-timestamp events run in scheduling order (deterministic replay).
+//
+// Hot-path design: the priority queue holds only (time, seq, slot) triples;
+// the callable lives in a slot map indexed by a recycled slot id, so a
+// schedule/fire cycle touches no node-based containers. Cancellation is a
+// lazy tombstone — `cancel` flips a flag in the slot and the queue entry is
+// discarded when it surfaces — and `Action` keeps small closures inline, so
+// steady-state schedule/cancel/fire performs zero heap allocations once the
+// queue and slot vectors have reached their high-water capacity.
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <stdexcept>
-#include <unordered_set>
 #include <vector>
 
 #include "common/time.hpp"
+#include "sim/action.hpp"
 
 namespace u5g {
 
-/// Handle to a scheduled event, usable to cancel it.
+/// Handle to a scheduled event, usable to cancel it. Identifies the event by
+/// its (slot, seq) pair; seq is globally unique so a handle can never
+/// accidentally refer to a later event recycled into the same slot.
 class EventHandle {
  public:
   constexpr EventHandle() = default;
@@ -24,14 +33,15 @@ class EventHandle {
 
  private:
   friend class Simulator;
-  constexpr explicit EventHandle(std::uint64_t seq) : seq_(seq) {}
+  constexpr EventHandle(std::uint32_t slot, std::uint64_t seq) : slot_(slot), seq_(seq) {}
+  std::uint32_t slot_ = 0;
   std::uint64_t seq_ = 0;
 };
 
 /// Event-driven simulator with cancellation and run-until semantics.
 class Simulator {
  public:
-  using Action = std::function<void()>;
+  using Action = u5g::Action;
 
   [[nodiscard]] Nanos now() const { return now_; }
 
@@ -39,9 +49,21 @@ class Simulator {
   EventHandle schedule_at(Nanos when, Action action) {
     if (when < now_) throw std::invalid_argument{"Simulator: scheduling into the past"};
     const std::uint64_t seq = ++next_seq_;
-    queue_.push(Event{when, seq, std::move(action)});
-    pending_.insert(seq);
-    return EventHandle{seq};
+    std::uint32_t idx;
+    if (free_.empty()) {
+      idx = static_cast<std::uint32_t>(slots_.size());
+      slots_.emplace_back();
+    } else {
+      idx = free_.back();
+      free_.pop_back();
+    }
+    Slot& s = slots_[idx];
+    s.seq = seq;
+    s.cancelled = false;
+    s.action = std::move(action);
+    queue_.push(QueueEntry{when, seq, idx});
+    ++live_;
+    return EventHandle{idx, seq};
   }
 
   /// Schedule `action` after a relative delay.
@@ -50,10 +72,15 @@ class Simulator {
   }
 
   /// Cancel a pending event. Returns true if the event had not yet fired or
-  /// been cancelled. Safe on default-constructed handles.
+  /// been cancelled. Safe on default-constructed handles. O(1): tombstones
+  /// the slot; the queue entry is skipped when it reaches the front.
   bool cancel(EventHandle h) {
-    if (!h.valid() || pending_.erase(h.seq_) == 0) return false;
-    cancelled_.insert(h.seq_);
+    if (!h.valid() || h.slot_ >= slots_.size()) return false;
+    Slot& s = slots_[h.slot_];
+    if (s.seq != h.seq_ || s.cancelled) return false;
+    s.cancelled = true;
+    s.action.reset();  // release captured resources eagerly
+    --live_;
     return true;
   }
 
@@ -72,39 +99,53 @@ class Simulator {
     return false;
   }
 
-  [[nodiscard]] std::size_t pending_events() const { return pending_.size(); }
-  [[nodiscard]] bool idle() const { return pending_.empty(); }
+  [[nodiscard]] std::size_t pending_events() const { return live_; }
+  [[nodiscard]] bool idle() const { return live_ == 0; }
 
  private:
-  struct Event {
+  struct Slot {
+    std::uint64_t seq = 0;  ///< seq of the resident event; 0 = free
+    bool cancelled = false;
+    Action action;
+  };
+  struct QueueEntry {
     Nanos when;
     std::uint64_t seq;
-    mutable Action action;  // moved out on pop; priority_queue::top() is const
+    std::uint32_t slot;
   };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const QueueEntry& a, const QueueEntry& b) const {
       if (a.when != b.when) return a.when > b.when;
       return a.seq > b.seq;
     }
   };
 
-  /// Pops the front event; fires it unless cancelled. Returns true if fired.
+  /// Pops the front entry; fires it unless tombstoned. Returns true if fired.
   bool pop_and_fire() {
-    Event ev{queue_.top().when, queue_.top().seq,
-             std::move(const_cast<Event&>(queue_.top()).action)};
+    const QueueEntry e = queue_.top();
     queue_.pop();
-    if (cancelled_.erase(ev.seq) > 0) return false;
-    pending_.erase(ev.seq);
-    now_ = ev.when;
-    ev.action();
+    Slot& s = slots_[e.slot];
+    // The slot is recycled only after its queue entry surfaces, so it still
+    // belongs to this event here.
+    const bool tombstoned = s.cancelled;
+    Action action = std::move(s.action);
+    s.seq = 0;
+    s.cancelled = false;
+    s.action.reset();
+    free_.push_back(e.slot);
+    if (tombstoned) return false;
+    --live_;
+    now_ = e.when;
+    action();  // may schedule new events; the slot was already released
     return true;
   }
 
   Nanos now_ = Nanos::zero();
   std::uint64_t next_seq_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<std::uint64_t> cancelled_;
-  std::unordered_set<std::uint64_t> pending_;
+  std::size_t live_ = 0;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, Later> queue_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;
 };
 
 }  // namespace u5g

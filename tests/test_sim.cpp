@@ -1,11 +1,38 @@
-// Unit tests for the discrete-event kernel and the periodic process helper.
+// Unit tests for the discrete-event kernel and the periodic process helper,
+// including the slot-map tombstone machinery and the small-buffer Action's
+// zero-allocation guarantee.
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
 #include <vector>
 
 #include "sim/periodic.hpp"
 #include "sim/simulator.hpp"
+
+// Global allocation counter: the kernel claims zero heap allocations for
+// small actions in steady state, and that claim is tested below. Counting
+// replacement of the global operator new/delete; single-threaded tests only
+// read the counter between statements, so the atomic is plenty.
+namespace {
+std::atomic<std::size_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
 
 namespace u5g {
 namespace {
@@ -139,6 +166,138 @@ TEST(SimulatorTest, EventsScheduledDuringRunAreFired) {
   sim.run_until();
   EXPECT_EQ(depth, 5);
   EXPECT_EQ(sim.now(), 4_us);
+}
+
+// ---------------------------------------------------------------------------
+// Slot recycling / tombstone semantics
+
+TEST(SimulatorTest, StaleHandleAfterSlotReuseIsInert) {
+  Simulator sim;
+  bool first_fired = false;
+  bool second_fired = false;
+  const EventHandle h1 = sim.schedule_at(10_ns, [&] { first_fired = true; });
+  EXPECT_TRUE(sim.cancel(h1));
+  // The next schedule may recycle h1's storage; the stale handle must not be
+  // able to cancel the new event.
+  const EventHandle h2 = sim.schedule_at(20_ns, [&] { second_fired = true; });
+  EXPECT_FALSE(sim.cancel(h1));
+  sim.run_until();
+  EXPECT_FALSE(first_fired);
+  EXPECT_TRUE(second_fired);
+  EXPECT_FALSE(sim.cancel(h2));  // already fired
+}
+
+TEST(SimulatorTest, CancelReleasesCapturedResourcesEagerly) {
+  Simulator sim;
+  auto token = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = token;
+  const EventHandle h = sim.schedule_at(10_ns, [t = std::move(token)] { (void)*t; });
+  EXPECT_FALSE(watch.expired());
+  EXPECT_TRUE(sim.cancel(h));
+  EXPECT_TRUE(watch.expired());  // tombstoning destroyed the closure
+  sim.run_until();
+}
+
+TEST(SimulatorTest, ManyInterleavedCancelsKeepOrdering) {
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 100; ++i) {
+    handles.push_back(sim.schedule_at(Nanos{100 - i}, [&order, i] { order.push_back(i); }));
+  }
+  for (int i = 0; i < 100; i += 2) EXPECT_TRUE(sim.cancel(handles[static_cast<std::size_t>(i)]));
+  sim.run_until();
+  ASSERT_EQ(order.size(), 50u);
+  // Survivors are the odd i, firing at when=100-i in increasing time order.
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    EXPECT_EQ(order[k], 99 - static_cast<int>(2 * k));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Action: small-buffer storage and move semantics
+
+TEST(ActionTest, InvokesSmallAndLargeCallables) {
+  int hits = 0;
+  Action small([&hits] { ++hits; });
+  small();
+  EXPECT_EQ(hits, 1);
+
+  // > kInlineSize of captured state forces the heap path.
+  struct Big {
+    double payload[16];
+  };
+  Big big{};
+  big.payload[0] = 2.5;
+  double seen = 0.0;
+  Action large([big, &seen] { seen = big.payload[0]; });
+  large();
+  EXPECT_EQ(seen, 2.5);
+}
+
+TEST(ActionTest, MoveTransfersOwnership) {
+  int hits = 0;
+  Action a([&hits] { ++hits; });
+  Action b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move): testing moved-from state
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+
+  Action c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(ActionTest, ResetDestroysCapture) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  Action a([t = std::move(token)] { (void)t; });
+  EXPECT_FALSE(watch.expired());
+  a.reset();
+  EXPECT_TRUE(watch.expired());
+  EXPECT_FALSE(static_cast<bool>(a));
+}
+
+TEST(ActionTest, SmallActionIsHeapFree) {
+  void* big_enough[3] = {nullptr, nullptr, nullptr};
+  const std::size_t before = g_allocs.load();
+  Action a([big_enough] { (void)big_enough; });  // 3 captured words
+  a();
+  a.reset();
+  EXPECT_EQ(g_allocs.load(), before);
+}
+
+// ---------------------------------------------------------------------------
+// Zero heap allocations in kernel steady state (small actions)
+
+TEST(SimulatorTest, SteadyStateScheduleFireCancelIsHeapFree) {
+  Simulator sim;
+  long fired = 0;
+  // Warm-up: push the queue, slot map and free list past the high-water mark
+  // so the vectors keep their capacity for the measured phase.
+  std::vector<EventHandle> warm;
+  for (int i = 0; i < 256; ++i) {
+    warm.push_back(sim.schedule_at(Nanos{i}, [&fired] { ++fired; }));
+  }
+  for (std::size_t i = 0; i < warm.size(); i += 2) sim.cancel(warm[i]);
+  sim.run_until();
+  warm.clear();
+  warm.reserve(256);
+
+  const std::size_t before = g_allocs.load();
+  for (int round = 0; round < 4; ++round) {
+    const Nanos base = sim.now();
+    warm.clear();
+    for (int i = 0; i < 128; ++i) {
+      warm.push_back(sim.schedule_at(base + Nanos{i + 1}, [&fired] { ++fired; }));
+    }
+    for (std::size_t i = 0; i < warm.size(); i += 3) sim.cancel(warm[i]);
+    sim.run_until();
+  }
+  EXPECT_EQ(g_allocs.load(), before) << "kernel steady state must not touch the heap";
+  EXPECT_GT(fired, 0);
 }
 
 // ---------------------------------------------------------------------------
