@@ -1,0 +1,151 @@
+#pragma once
+// Freelist pool of recycled packet-buffer backing stores.
+//
+// Every packet through the stack used to allocate (and free) a fresh
+// `std::vector` per layer hop; at Monte-Carlo scale that heap traffic
+// dominates the per-packet protocol work. The pool keeps released backing
+// stores on per-size-class freelists so the warm datapath acquires and
+// releases storage without touching the heap: the first few packets carve
+// blocks from `operator new`, every later packet reuses them.
+//
+// Threading model: one pool per thread (`BufferPool::local()`), matching the
+// Monte-Carlo runner where each worker owns its replications end to end.
+// Blocks are self-describing (they carry their capacity), so a buffer that
+// migrates across threads simply recycles into the destination thread's
+// pool — safe, just not the steady-state pattern.
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+
+namespace u5g {
+
+/// Per-thread freelist allocator for ByteBuffer backing stores.
+class BufferPool {
+ public:
+  /// One backing store: this header followed by `capacity` payload bytes.
+  struct Block {
+    std::uint32_t capacity = 0;  ///< usable bytes following the header
+    std::int8_t cls = -1;        ///< size-class index; -1 = unpooled (huge)
+    Block* next = nullptr;       ///< freelist link while recycled
+    [[nodiscard]] std::uint8_t* data() {
+      return reinterpret_cast<std::uint8_t*>(this) + sizeof(Block);
+    }
+  };
+
+  /// Smallest pooled capacity; classes double up to the largest. Requests
+  /// beyond the largest class fall back to plain heap blocks (released to
+  /// the heap, not the freelist) — packets that size do not exist on the
+  /// warm path.
+  static constexpr std::size_t kMinCapacity = 256;
+  static constexpr std::size_t kMaxPooledCapacity = std::size_t{1} << 20;
+
+  BufferPool() = default;
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+  ~BufferPool() {
+    for (Block*& head : free_) {
+      while (head != nullptr) {
+        Block* b = head;
+        head = b->next;
+        ::operator delete(b);
+      }
+    }
+  }
+
+  /// A block with at least `capacity` usable bytes: from the matching
+  /// freelist when one is cached, freshly carved otherwise.
+  [[nodiscard]] Block* acquire(std::size_t capacity) {
+    const int cls = class_of(capacity);
+    if (cls >= 0 && free_[static_cast<std::size_t>(cls)] != nullptr) {
+      Block* b = free_[static_cast<std::size_t>(cls)];
+      free_[static_cast<std::size_t>(cls)] = b->next;
+      b->next = nullptr;
+      ++stats_.reuses;
+      ++stats_.outstanding;
+      return b;
+    }
+    const std::size_t cap = cls >= 0 ? class_capacity(cls) : capacity;
+    auto* b = static_cast<Block*>(::operator new(sizeof(Block) + cap));
+    b->capacity = static_cast<std::uint32_t>(cap);
+    b->cls = static_cast<std::int8_t>(cls);
+    b->next = nullptr;
+    ++stats_.heap_allocations;
+    ++stats_.outstanding;
+    return b;
+  }
+
+  /// Return a block: recycled onto its class freelist, or freed if unpooled.
+  void release(Block* b) {
+    if (b == nullptr) return;
+    ++stats_.releases;
+    --stats_.outstanding;
+    if (b->cls < 0) {
+      ::operator delete(b);
+      return;
+    }
+    b->next = free_[static_cast<std::size_t>(b->cls)];
+    free_[static_cast<std::size_t>(b->cls)] = b;
+  }
+
+  /// Pre-carve `count` blocks of (at least) `capacity` so the very first
+  /// packets of a run are already freelist hits. All blocks are held live
+  /// until the end so each iteration carves a fresh one instead of
+  /// round-tripping the same block through the freelist.
+  void prefill(std::size_t capacity, std::size_t count) {
+    const std::uint64_t reuses = stats_.reuses;
+    const std::uint64_t releases = stats_.releases;
+    Block* held = nullptr;
+    for (std::size_t i = 0; i < count; ++i) {
+      Block* b = acquire(capacity);
+      b->next = held;
+      held = b;
+    }
+    while (held != nullptr) {
+      Block* b = held;
+      held = b->next;
+      b->next = nullptr;
+      release(b);
+    }
+    // Prefilled blocks were never handed to a caller: the acquire/release
+    // round trips above should not count as datapath reuse traffic.
+    stats_.reuses = reuses;
+    stats_.releases = releases;
+  }
+
+  struct Stats {
+    std::uint64_t heap_allocations = 0;  ///< blocks carved from operator new
+    std::uint64_t reuses = 0;            ///< acquires served by a freelist
+    std::uint64_t releases = 0;          ///< blocks returned to the pool
+    std::uint64_t outstanding = 0;       ///< live blocks not in a freelist
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// The calling thread's pool. ByteBuffer routes all backing-store
+  /// management through this; entities never pass pools explicitly.
+  static BufferPool& local() {
+    static thread_local BufferPool pool;
+    return pool;
+  }
+
+ private:
+  static constexpr int kMinClassBits = 8;   // 256
+  static constexpr int kMaxClassBits = 20;  // 1 MiB
+  static constexpr std::size_t kClasses = kMaxClassBits - kMinClassBits + 1;
+
+  /// Size-class index for `capacity`, or -1 when too large to pool.
+  [[nodiscard]] static int class_of(std::size_t capacity) {
+    if (capacity > kMaxPooledCapacity) return -1;
+    const std::size_t c = capacity < kMinCapacity ? kMinCapacity : capacity;
+    return std::bit_width(c - 1) - kMinClassBits;
+  }
+  [[nodiscard]] static std::size_t class_capacity(int cls) {
+    return std::size_t{1} << (cls + kMinClassBits);
+  }
+
+  Block* free_[kClasses] = {};
+  Stats stats_;
+};
+
+}  // namespace u5g

@@ -1,0 +1,42 @@
+#pragma once
+// Non-owning callable reference for synchronous callbacks.
+//
+// Layer entities (PDCP/RLC/SDAP) hand SDUs upward via a delivery callback
+// that is invoked before the call returns. `std::function` is the wrong tool
+// there: typical lambdas capture `this` plus a couple of locals (24+ bytes),
+// which overflows libstdc++'s 16-byte small-object buffer and heap-allocates
+// on every single packet. `FunctionRef` stores two words — a pointer to the
+// caller's callable and a thunk — so passing a callback is always free.
+//
+// Lifetime rule: a FunctionRef never outlives the callable it refers to.
+// Use it only for call-and-return parameters, never for stored callbacks
+// (the simulator's `Action` owns its callables for that case).
+
+#include <type_traits>
+#include <utility>
+
+namespace u5g {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+             std::is_invocable_r_v<R, F&, Args...>)
+  FunctionRef(F&& f)  // NOLINT(google-explicit-constructor): by-value callback parameter
+      : obj_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+        thunk_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const { return thunk_(obj_, std::forward<Args>(args)...); }
+
+ private:
+  void* obj_;
+  R (*thunk_)(void*, Args...);
+};
+
+}  // namespace u5g

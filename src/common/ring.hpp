@@ -1,0 +1,91 @@
+#pragma once
+// Ring-buffer deque: FIFO over a power-of-two circular array.
+//
+// `std::deque` allocates and frees fixed-size chunks as elements flow
+// through; a queue that oscillates around a chunk boundary (an RLC transmit
+// queue at steady state) pays a heap round trip per packet. RingDeque keeps
+// one contiguous array and wraps indices, so a warm queue never allocates —
+// capacity only ever grows, to the high-water mark of the run.
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+
+namespace u5g {
+
+template <typename T>
+class RingDeque {
+ public:
+  RingDeque() = default;
+  RingDeque(const RingDeque&) = delete;
+  RingDeque& operator=(const RingDeque&) = delete;
+  RingDeque(RingDeque&& o) noexcept
+      : slots_(o.slots_), capacity_(o.capacity_), head_(o.head_), size_(o.size_) {
+    o.slots_ = nullptr;
+    o.capacity_ = 0;
+    o.head_ = 0;
+    o.size_ = 0;
+  }
+  RingDeque& operator=(RingDeque&& o) noexcept {
+    if (this != &o) {
+      this->~RingDeque();
+      ::new (this) RingDeque(std::move(o));
+    }
+    return *this;
+  }
+  ~RingDeque() {
+    clear();
+    ::operator delete(slots_);
+  }
+
+  template <typename... CtorArgs>
+  T& emplace_back(CtorArgs&&... args) {
+    if (size_ == capacity_) grow();
+    T* slot = ::new (slots_ + ((head_ + size_) & (capacity_ - 1))) T(std::forward<CtorArgs>(args)...);
+    ++size_;
+    return *slot;
+  }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  void pop_front() {
+    slots_[head_].~T();
+    head_ = (head_ + 1) & (capacity_ - 1);
+    --size_;
+  }
+
+  [[nodiscard]] T& front() { return slots_[head_]; }
+  [[nodiscard]] const T& front() const { return slots_[head_]; }
+  [[nodiscard]] T& operator[](std::size_t i) { return slots_[(head_ + i) & (capacity_ - 1)]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    return slots_[(head_ + i) & (capacity_ - 1)];
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  void clear() {
+    while (size_ > 0) pop_front();
+  }
+
+ private:
+  void grow() {
+    const std::size_t new_cap = capacity_ == 0 ? 8 : capacity_ * 2;
+    T* bigger = static_cast<T*>(::operator new(new_cap * sizeof(T)));
+    for (std::size_t i = 0; i < size_; ++i) {
+      ::new (bigger + i) T(std::move((*this)[i]));
+      (*this)[i].~T();
+    }
+    ::operator delete(slots_);
+    slots_ = bigger;
+    capacity_ = new_cap;
+    head_ = 0;
+  }
+
+  T* slots_ = nullptr;
+  std::size_t capacity_ = 0;  ///< always zero or a power of two
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace u5g

@@ -175,8 +175,11 @@ struct E2eSystem::Impl {
   /// PDCP t-Reordering (TS 38.323 §5.2.2.2): when a PDU is held waiting for
   /// a missing COUNT, a timer bounds the wait; on expiry the held run is
   /// flushed past the gap. Without this, one HARQ-exhausted loss would stall
-  /// in-order delivery forever.
-  void arm_pdcp_reordering(PdcpRx& rx, bool& armed, const PdcpRx::Deliver& deliver) {
+  /// in-order delivery forever. `deliver` is copied into the timer event —
+  /// PdcpRx::Deliver itself is a non-owning FunctionRef — so the early-out
+  /// (the loss-free common case) pays nothing for the owning copy.
+  template <typename DeliverFn>
+  void arm_pdcp_reordering(PdcpRx& rx, bool& armed, const DeliverFn& deliver) {
     if (rx.held_count() == 0 || armed) return;
     armed = true;
     sim.schedule_after(cfg.pdcp_t_reordering, [this, &rx, &armed, deliver] {
@@ -187,10 +190,11 @@ struct E2eSystem::Impl {
 
   /// Traverse gNB layers, recording draws into the global Table 2 stats and
   /// (when `ridx` is valid) the packet record.
-  void gnb_traverse(std::vector<Layer> layers, std::optional<std::size_t> ridx,
-                    std::function<void(Nanos)> done) {
+  template <typename Done>
+  void gnb_traverse(std::initializer_list<Layer> layers, std::optional<std::size_t> ridx,
+                    Done done) {
     traverse_layers(
-        sim, gnb.compute.proc, std::move(layers),
+        sim, gnb.compute.proc, layers,
         [this, ridx](Layer l, Nanos dt) {
           gnb_layer_stats[static_cast<std::size_t>(l)].add(dt.us());
           if (ridx) rec(*ridx).gnb_layer_time[static_cast<std::size_t>(l)] += dt;
@@ -198,8 +202,9 @@ struct E2eSystem::Impl {
         std::move(done));
   }
 
-  void ue_traverse(UeCtx& ue, std::vector<Layer> layers, std::function<void(Nanos)> done) {
-    traverse_layers(sim, ue.stack.compute.proc, std::move(layers), nullptr, std::move(done));
+  template <typename Done>
+  void ue_traverse(UeCtx& ue, std::initializer_list<Layer> layers, Done done) {
+    traverse_layers(sim, ue.stack.compute.proc, layers, nullptr, std::move(done));
   }
 
   // =========================================================================
@@ -296,7 +301,10 @@ struct E2eSystem::Impl {
 
   void serve_ul_grant(UeCtx& ue, const UlGrant& grant, int attempt) {
     // Fill the transport block: BSR CE first, then as many RLC PDUs as fit.
-    std::vector<MacSubPdu> sub;
+    // The CE's single payload byte is written after the pulls, once the
+    // remaining backlog is known.
+    MacSubPdus sub;
+    sub.emplace_back(MacSubPdu{Lcid::ShortBsr, ByteBuffer(1)});
     std::size_t used = kMacSubheaderBytes + 1;  // BSR CE slot
     bool any = false;
     RlcTx& rlc = ue.stack.uplink().rlc_tx;
@@ -313,10 +321,8 @@ struct E2eSystem::Impl {
       return;
     }
     // Short BSR CE reports the remaining backlog (drives follow-up grants).
-    ByteBuffer bsr_ce(1);
-    bsr_ce.bytes()[0] = ShortBsr::for_bytes(rlc.queued_bytes()).encode();
-    sub.insert(sub.begin(), MacSubPdu{Lcid::ShortBsr, std::move(bsr_ce)});
-    ByteBuffer tb = build_mac_pdu(std::move(sub), grant.tb_bytes);
+    sub[0].payload.bytes()[0] = ShortBsr::for_bytes(rlc.queued_bytes()).encode();
+    ByteBuffer tb = build_mac_pdu(sub, grant.tb_bytes);
 
     // Grant-free UEs keep their pre-allocated occasions: arm the next one
     // right away when backlog remains (it need not wait for the gNB).
@@ -333,12 +339,11 @@ struct E2eSystem::Impl {
     }
     if (lost) return;  // HARQ budget exhausted: the packet is gone
 
-    auto shared_tb = std::make_shared<ByteBuffer>(std::move(tb));
-    sim.schedule_at(air_end, [this, &ue, shared_tb, attempt] {
+    sim.schedule_at(air_end, [this, &ue, tb = std::move(tb), attempt]() mutable {
       const Nanos rx = gnb.compute.radio.rx_delivery_latency(
           samples_of(gnb.compute.radio, Nanos{100'000}));
-      sim.schedule_after(rx, [this, &ue, shared_tb, attempt] {
-        gnb_rx_ul(ue, std::move(*shared_tb), attempt);
+      sim.schedule_after(rx, [this, &ue, tb = std::move(tb), attempt]() mutable {
+        gnb_rx_ul(ue, std::move(tb), attempt);
       });
     });
   }
@@ -372,13 +377,12 @@ struct E2eSystem::Impl {
       return;
     }
     if (lost) return;
-    auto shared_tb = std::make_shared<ByteBuffer>(std::move(entry.tb));
     const int attempt = entry.attempt;
-    sim.schedule_at(grant.tx_end, [this, &ue, shared_tb, attempt] {
+    sim.schedule_at(grant.tx_end, [this, &ue, tb = std::move(entry.tb), attempt]() mutable {
       const Nanos rx = gnb.compute.radio.rx_delivery_latency(
           samples_of(gnb.compute.radio, Nanos{100'000}));
-      sim.schedule_after(rx, [this, &ue, shared_tb, attempt] {
-        gnb_rx_ul(ue, std::move(*shared_tb), attempt);
+      sim.schedule_after(rx, [this, &ue, tb = std::move(tb), attempt]() mutable {
+        gnb_rx_ul(ue, std::move(tb), attempt);
       });
     });
     // More lost TBs pending? Chain another opportunity.
@@ -386,9 +390,9 @@ struct E2eSystem::Impl {
   }
 
   void gnb_rx_ul(UeCtx& ue, ByteBuffer tb, int attempt) {
-    auto shared_tb = std::make_shared<ByteBuffer>(std::move(tb));
-    gnb_traverse({Layer::PHY, Layer::MAC}, std::nullopt, [this, &ue, shared_tb, attempt](Nanos) {
-      auto subpdus = parse_mac_pdu(std::move(*shared_tb));
+    gnb_traverse({Layer::PHY, Layer::MAC}, std::nullopt,
+                 [this, &ue, tb = std::move(tb), attempt](Nanos) mutable {
+      auto subpdus = parse_mac_pdu(std::move(tb));
       if (!subpdus) return;
       bool more_data = false;
       for (MacSubPdu& sp : *subpdus) {
@@ -414,14 +418,13 @@ struct E2eSystem::Impl {
   void process_ul_rlc_pdu(UeCtx& ue, ByteBuffer&& pdu, int attempt) {
     const std::size_t chain = static_cast<std::size_t>(ue.index);
     gnb.uplink(chain).rlc_rx.receive(std::move(pdu), [this, &ue, chain, attempt](ByteBuffer&& sdu) {
-      auto shared = std::make_shared<ByteBuffer>(std::move(sdu));
       gnb_traverse({Layer::RLC, Layer::PDCP, Layer::SDAP}, std::nullopt,
-                   [this, &ue, chain, shared, attempt](Nanos) {
-                     const PdcpRx::Deliver deliver = [this, &ue, attempt](ByteBuffer&& plain,
-                                                                          std::uint32_t) {
+                   [this, &ue, chain, sdu = std::move(sdu), attempt](Nanos) mutable {
+                     const auto deliver = [this, &ue, attempt](ByteBuffer&& plain,
+                                                               std::uint32_t) {
                        deliver_ul(ue, std::move(plain), attempt);
                      };
-                     gnb.uplink(chain).pdcp_rx.receive(std::move(*shared), deliver);
+                     gnb.uplink(chain).pdcp_rx.receive(std::move(sdu), deliver);
                      arm_pdcp_reordering(gnb.uplink(chain).pdcp_rx, ue.ul_reorder_armed, deliver);
                    });
     });
@@ -430,15 +433,14 @@ struct E2eSystem::Impl {
   void deliver_ul(UeCtx& ue, ByteBuffer&& sdu, int attempt) {
     (void)gnb.compute.sdap.decapsulate(sdu);
     gtpu_encapsulate(sdu, ue.teid());
-    const auto upf_latency = [&]() -> Nanos {
-      ByteBuffer copy = sdu;  // UPF strips the tunnel on its own copy
-      const auto l = upf.process_uplink(copy);
-      return l.value_or(Nanos::zero());
-    }();
+    // The UPF routes (and strips the tunnel of) its own copy; the original
+    // stays encapsulated for the sequence read below. Pool-backed copies:
+    // one block acquire + memcpy, no heap traffic.
+    ByteBuffer routed = sdu;
+    const Nanos upf_latency = upf.process_uplink(routed).value_or(Nanos::zero());
     const int seq = [&] {
-      ByteBuffer copy = sdu;
-      (void)gtpu_decapsulate(copy);
-      return read_seq(copy);
+      (void)gtpu_decapsulate(sdu);
+      return read_seq(sdu);
     }();
     sim.schedule_after(upf.backhaul() + upf_latency,
                        [this, seq, attempt] { finalize(seq, attempt); });
@@ -453,34 +455,32 @@ struct E2eSystem::Impl {
     UeCtx& ue = *ues[static_cast<std::size_t>(r.ue)];
     ByteBuffer pkt = make_payload(r.seq, cfg.payload_bytes);
     const Nanos upf_latency = upf.process_downlink(pkt, ue.teid());
-    auto shared = std::make_shared<ByteBuffer>(std::move(pkt));
-    sim.schedule_after(upf_latency + upf.backhaul(), [this, shared, ridx, &ue] {
-      gnb_dl_ingress(ue, std::move(*shared), ridx);
-    });
+    sim.schedule_after(upf_latency + upf.backhaul(),
+                       [this, pkt = std::move(pkt), ridx, &ue]() mutable {
+                         gnb_dl_ingress(ue, std::move(pkt), ridx);
+                       });
   }
 
   void gnb_dl_ingress(UeCtx& ue, ByteBuffer pkt, std::size_t ridx) {
     if (!gtpu_decapsulate(pkt)) return;
-    auto shared = std::make_shared<ByteBuffer>(std::move(pkt));
     gnb_traverse({Layer::SDAP, Layer::PDCP, Layer::RLC}, ridx,
-                 [this, &ue, shared](Nanos end) {
+                 [this, &ue, pkt = std::move(pkt)](Nanos end) mutable {
                    const std::size_t chain = static_cast<std::size_t>(ue.index);
-                   gnb.compute.sdap.encapsulate(*shared, kQfi);
-                   gnb.downlink(chain).pdcp_tx.protect(*shared);
-                   gnb.downlink(chain).rlc_tx.enqueue(std::move(*shared), end);
+                   gnb.compute.sdap.encapsulate(pkt, kQfi);
+                   gnb.downlink(chain).pdcp_tx.protect(pkt);
+                   gnb.downlink(chain).rlc_tx.enqueue(std::move(pkt), end);
                    schedule_dl_service(ue, end);
                  });
   }
 
   /// Bytes one DL window can physically carry: the §2 resource grid at a
   /// typical private-5G allocation (100 PRB, MCS 19). Large SDUs therefore
-  /// segment across windows, exactly as RLC would on hardware.
-  [[nodiscard]] std::size_t window_capacity_bytes(const DlAssignment& a) const {
+  /// segment across windows, exactly as RLC would on hardware. The TBS
+  /// arithmetic is memoized per symbol count inside the scheduler.
+  [[nodiscard]] std::size_t window_capacity_bytes(const DlAssignment& a) {
     const auto symbols = static_cast<int>((a.tx_end - a.tx_start) /
                                           cfg.duplex->numerology().symbol_duration());
-    const Allocation alloc{.n_prb = 100, .n_symbols = std::max(symbols, 1)};
-    const int bits = transport_block_size_bits(alloc, mcs(19));
-    return static_cast<std::size_t>(std::max(bits, 256)) / 8;
+    return sched.dl_window_capacity_bytes(symbols);
   }
 
   void schedule_dl_service(UeCtx& ue, Nanos ready) {
@@ -504,9 +504,9 @@ struct E2eSystem::Impl {
     const Nanos q_wait = sim.now() - pulled->sdu_enqueued_at;
     rlc_q_stats_us.add(q_wait.us());
 
-    std::vector<MacSubPdu> sub;
+    MacSubPdus sub;
     sub.push_back(MacSubPdu{Lcid::Drb1, std::move(pulled->pdu)});
-    ByteBuffer tb = build_mac_pdu(std::move(sub), a.tb_bytes);
+    ByteBuffer tb = build_mac_pdu(sub, a.tb_bytes);
 
     // If segmentation left data behind, plan the remainder immediately.
     if (gnb.downlink(chain).rlc_tx.has_data()) schedule_dl_service(ue, sim.now());
@@ -518,9 +518,7 @@ struct E2eSystem::Impl {
     gnb_layer_stats[static_cast<std::size_t>(Layer::PHY)].add(phy_draw.us());
     const Nanos encode =
         gnb.compute.phy.encode_time(static_cast<int>(a.tb_bytes * 8)) + phy_draw;
-    auto shared_tb = std::make_shared<ByteBuffer>(std::move(tb));
-    const auto q_wait_copy = q_wait;
-    sim.schedule_after(encode, [this, &ue, a, attempt, shared_tb, q_wait_copy] {
+    sim.schedule_after(encode, [this, &ue, a, attempt, tb = std::move(tb)]() mutable {
       const auto n_samples = samples_of(gnb.compute.radio, a.tx_end - a.tx_start);
       const TxPreparation prep = gnb.compute.radio.prepare_tx(sim.now(), n_samples, a.tx_start);
       if (!prep.on_time) {
@@ -528,11 +526,11 @@ struct E2eSystem::Impl {
         // as a lost transmission — retransmit if budget remains.
         ++owner.radio_deadline_misses_;
         if (attempt < cfg.harq_max_tx) {
-          requeue_dl_tb(ue, std::move(*shared_tb), prep.ready_at, attempt + 1);
+          requeue_dl_tb(ue, std::move(tb), prep.ready_at, attempt + 1);
         }
         return;
       }
-      transmit_dl(ue, a, std::move(*shared_tb), attempt);
+      transmit_dl(ue, a, std::move(tb), attempt);
     });
   }
 
@@ -542,22 +540,21 @@ struct E2eSystem::Impl {
     const auto plan = sched.plan_dl(ue.id, ready, bytes);
     if (!plan) return;
     const DlAssignment a = *plan;
-    auto shared_tb = std::make_shared<ByteBuffer>(std::move(tb));
     const Nanos pull_time = std::max(sim.now(), a.tx_start - sched.params().radio_lead);
-    sim.schedule_at(pull_time, [this, &ue, a, attempt, shared_tb] {
+    sim.schedule_at(pull_time, [this, &ue, a, attempt, tb = std::move(tb)]() mutable {
       const Nanos encode = gnb.compute.phy.encode_time(static_cast<int>(a.tb_bytes * 8));
-      sim.schedule_after(encode, [this, &ue, a, attempt, shared_tb] {
+      sim.schedule_after(encode, [this, &ue, a, attempt, tb = std::move(tb)]() mutable {
         const auto n_samples = samples_of(gnb.compute.radio, a.tx_end - a.tx_start);
         const TxPreparation prep =
             gnb.compute.radio.prepare_tx(sim.now(), n_samples, a.tx_start);
         if (!prep.on_time) {
           ++owner.radio_deadline_misses_;
           if (attempt < cfg.harq_max_tx) {
-            requeue_dl_tb(ue, std::move(*shared_tb), prep.ready_at, attempt + 1);
+            requeue_dl_tb(ue, std::move(tb), prep.ready_at, attempt + 1);
           }
           return;
         }
-        transmit_dl(ue, a, std::move(*shared_tb), attempt);
+        transmit_dl(ue, a, std::move(tb), attempt);
       });
     });
   }
@@ -567,41 +564,37 @@ struct E2eSystem::Impl {
     if (lost) {
       if (attempt < cfg.harq_max_tx) {
         sim.schedule_at(a.tx_end + cfg.harq_feedback_delay,
-                        [this, &ue, back = std::make_shared<ByteBuffer>(std::move(tb)),
-                         attempt]() mutable {
-                          requeue_dl_tb(ue, std::move(*back), sim.now(), attempt + 1);
+                        [this, &ue, tb = std::move(tb), attempt]() mutable {
+                          requeue_dl_tb(ue, std::move(tb), sim.now(), attempt + 1);
                         });
       }
       return;
     }
-    auto shared_tb = std::make_shared<ByteBuffer>(std::move(tb));
-    sim.schedule_at(a.tx_end, [this, &ue, a, shared_tb, attempt] {
+    sim.schedule_at(a.tx_end, [this, &ue, a, tb = std::move(tb), attempt]() mutable {
       const Nanos rx = ue.stack.compute.radio.rx_delivery_latency(
           samples_of(ue.stack.compute.radio, a.tx_end - a.tx_start));
-      sim.schedule_after(rx, [this, &ue, shared_tb, attempt] {
-        ue_rx_dl(ue, std::move(*shared_tb), attempt);
+      sim.schedule_after(rx, [this, &ue, tb = std::move(tb), attempt]() mutable {
+        ue_rx_dl(ue, std::move(tb), attempt);
       });
     });
   }
 
   void ue_rx_dl(UeCtx& ue, ByteBuffer tb, int attempt) {
-    auto shared_tb = std::make_shared<ByteBuffer>(std::move(tb));
-    ue_traverse(ue, {Layer::PHY, Layer::MAC}, [this, &ue, shared_tb, attempt](Nanos) {
-      auto subpdus = parse_mac_pdu(std::move(*shared_tb));
+    ue_traverse(ue, {Layer::PHY, Layer::MAC}, [this, &ue, tb = std::move(tb), attempt](Nanos) mutable {
+      auto subpdus = parse_mac_pdu(std::move(tb));
       if (!subpdus) return;
       for (MacSubPdu& sp : *subpdus) {
         if (sp.lcid != Lcid::Drb1) continue;
         ue.stack.downlink().rlc_rx.receive(
             std::move(sp.payload), [this, &ue, attempt](ByteBuffer&& sdu) {
-              auto shared = std::make_shared<ByteBuffer>(std::move(sdu));
               ue_traverse(ue, {Layer::RLC, Layer::PDCP, Layer::SDAP, Layer::APP},
-                          [this, &ue, shared, attempt](Nanos) {
-                            const PdcpRx::Deliver deliver =
+                          [this, &ue, sdu = std::move(sdu), attempt](Nanos) mutable {
+                            const auto deliver =
                                 [this, &ue, attempt](ByteBuffer&& plain, std::uint32_t) {
                                   (void)ue.stack.compute.sdap.decapsulate(plain);
                                   finalize(read_seq(plain), attempt);
                                 };
-                            ue.stack.downlink().pdcp_rx.receive(std::move(*shared), deliver);
+                            ue.stack.downlink().pdcp_rx.receive(std::move(sdu), deliver);
                             arm_pdcp_reordering(ue.stack.downlink().pdcp_rx,
                                                 ue.dl_reorder_armed, deliver);
                           });

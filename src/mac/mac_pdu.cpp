@@ -5,12 +5,13 @@
 
 namespace u5g {
 
-ByteBuffer build_mac_pdu(std::vector<MacSubPdu>&& subpdus, std::size_t tb_bytes) {
+ByteBuffer build_mac_pdu(std::span<MacSubPdu> subpdus, std::size_t tb_bytes) {
   std::size_t need = 0;
   for (const MacSubPdu& sp : subpdus) need += kMacSubheaderBytes + sp.payload.size();
   if (need > tb_bytes) throw std::length_error{"build_mac_pdu: subPDUs exceed transport block"};
 
   ByteBuffer tb(0);
+  tb.reserve_tail(tb_bytes);  // one pooled block; all appends below are in-place
   for (MacSubPdu& sp : subpdus) {
     std::array<std::uint8_t, kMacSubheaderBytes> hdr{
         static_cast<std::uint8_t>(sp.lcid),
@@ -23,14 +24,13 @@ ByteBuffer build_mac_pdu(std::vector<MacSubPdu>&& subpdus, std::size_t tb_bytes)
     // Padding subheader (no length: consumes the remainder).
     const std::uint8_t pad_hdr = static_cast<std::uint8_t>(Lcid::Padding);
     tb.append({&pad_hdr, 1});
-    const std::vector<std::uint8_t> zeros(tb_bytes - tb.size(), 0);
-    tb.append(zeros);
+    tb.append_zeros(tb_bytes - tb.size());
   }
   return tb;
 }
 
-std::optional<std::vector<MacSubPdu>> parse_mac_pdu(ByteBuffer&& tb) {
-  std::vector<MacSubPdu> out;
+std::optional<MacSubPdus> parse_mac_pdu(ByteBuffer&& tb) {
+  MacSubPdus out;
   while (!tb.empty()) {
     const auto lcid = static_cast<Lcid>(tb.pop_header(1)[0]);
     if (lcid == Lcid::Padding) break;

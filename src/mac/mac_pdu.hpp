@@ -5,9 +5,10 @@
 
 #include <cstdint>
 #include <optional>
-#include <vector>
+#include <span>
 
 #include "common/bytes.hpp"
+#include "common/small_vec.hpp"
 
 namespace u5g {
 
@@ -24,13 +25,18 @@ struct MacSubPdu {
   ByteBuffer payload;
 };
 
+/// SubPDU list sized for the common case (an RLC PDU plus a BSR CE or two)
+/// without a heap allocation.
+using MacSubPdus = SmallVec<MacSubPdu, 4>;
+
 /// Serialise subPDUs into one transport block of exactly `tb_bytes`
 /// (padding appended). Throws std::length_error if they do not fit.
-[[nodiscard]] ByteBuffer build_mac_pdu(std::vector<MacSubPdu>&& subpdus, std::size_t tb_bytes);
+/// Payloads are consumed (moved from) — the span is non-const.
+[[nodiscard]] ByteBuffer build_mac_pdu(std::span<MacSubPdu> subpdus, std::size_t tb_bytes);
 
 /// Parse a transport block back into subPDUs (padding stripped).
 /// Returns nullopt on malformed input.
-[[nodiscard]] std::optional<std::vector<MacSubPdu>> parse_mac_pdu(ByteBuffer&& tb);
+[[nodiscard]] std::optional<MacSubPdus> parse_mac_pdu(ByteBuffer&& tb);
 
 /// Overhead per subPDU: 1 byte LCID + 2 bytes length.
 inline constexpr std::size_t kMacSubheaderBytes = 3;

@@ -2,7 +2,25 @@
 
 #include <algorithm>
 
+#include "phy/modulation.hpp"
+#include "phy/transport_block.hpp"
+
 namespace u5g {
+
+std::size_t MacScheduler::dl_window_capacity_bytes(int n_symbols) {
+  const int sym = std::max(n_symbols, 1);
+  const bool cacheable = sym <= kCapCacheSymbols;
+  if (cacheable && dl_capacity_cache_[static_cast<std::size_t>(sym)] > 0) {
+    return static_cast<std::size_t>(dl_capacity_cache_[static_cast<std::size_t>(sym)]);
+  }
+  const Allocation alloc{.n_prb = p_.dl_prbs, .n_symbols = sym};
+  const int bits = transport_block_size_bits(alloc, mcs(p_.dl_mcs_index));
+  const auto bytes = static_cast<std::size_t>(std::max(bits, 256)) / 8;
+  if (cacheable) {
+    dl_capacity_cache_[static_cast<std::size_t>(sym)] = static_cast<std::int64_t>(bytes);
+  }
+  return bytes;
+}
 
 std::optional<UlGrantPlan> MacScheduler::plan_ul_grant(UeId ue, Nanos sr_decoded) {
   // Decision at the next scheduler run after the SR is known.

@@ -10,6 +10,7 @@
 // `radio_lead` plus the explicit safety `margin`; the margin-vs-reliability
 // trade is ablation A3.
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <optional>
@@ -35,6 +36,10 @@ struct SchedulerParams {
   int ul_tx_symbols = 2;
   /// Transport block granted per UL grant.
   std::size_t ul_tb_bytes = 256;
+  /// DL data allocation used for window-capacity sizing: a typical
+  /// private-5G carrier (100 PRB at MCS 19).
+  int dl_prbs = 100;
+  int dl_mcs_index = 19;
 
   static SchedulerParams idealised() { return {}; }
 };
@@ -70,14 +75,23 @@ class MacScheduler {
     dl_booked_until_ = Nanos::zero();
   }
 
+  /// Bytes one DL window of `n_symbols` symbols can physically carry at the
+  /// configured (dl_prbs, dl_mcs_index) allocation. The same few symbol
+  /// counts recur for every served TB, so results are memoized — the TBS
+  /// computation runs once per distinct window shape, not once per packet.
+  [[nodiscard]] std::size_t dl_window_capacity_bytes(int n_symbols);
+
   [[nodiscard]] const SchedulerParams& params() const { return p_; }
   [[nodiscard]] Nanos total_lead() const { return p_.radio_lead + p_.margin; }
 
  private:
+  static constexpr int kCapCacheSymbols = 64;  ///< covers multi-slot DL windows
+
   const DuplexConfig& duplex_;
   SchedulerParams p_;
   Nanos ul_booked_until_{};
   Nanos dl_booked_until_{};
+  std::array<std::int64_t, kCapCacheSymbols + 1> dl_capacity_cache_{};  ///< 0 = unset
 };
 
 }  // namespace u5g

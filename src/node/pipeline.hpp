@@ -3,10 +3,21 @@
 // on the simulated clock, drawing each layer's processing time from the
 // node's ProcessingModel and reporting every draw (the Table 2 measurement
 // hook) before invoking the completion continuation.
+//
+// All per-layer durations are sampled up front and the traversal schedules a
+// single completion event at their sum, instead of one event per layer: the
+// simulated completion time is identical (the layers of one packet run
+// back-to-back with nothing interleaved between them), and a K-layer hop
+// costs one event instead of K. `per_layer` observers therefore fire at
+// schedule time, in layer order, with the sampled duration — they are
+// measurement taps, not simulation actors, and must not read the simulated
+// clock.
 
-#include <functional>
-#include <memory>
-#include <vector>
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <type_traits>
+#include <utility>
 
 #include "common/time.hpp"
 #include "os/proc_time.hpp"
@@ -14,40 +25,28 @@
 
 namespace u5g {
 
-/// Asynchronously traverse `layers` in order starting now. `per_layer` fires
-/// after each layer completes with (layer, sampled duration); `done` fires
-/// once with the completion time.
-inline void traverse_layers(Simulator& sim, ProcessingModel& proc, std::vector<Layer> layers,
-                            std::function<void(Layer, Nanos)> per_layer,
-                            std::function<void(Nanos)> done) {
-  struct Walker : std::enable_shared_from_this<Walker> {
-    Simulator& sim;
-    ProcessingModel& proc;
-    std::vector<Layer> layers;
-    std::function<void(Layer, Nanos)> per_layer;
-    std::function<void(Nanos)> done;
-    std::size_t next = 0;
-
-    Walker(Simulator& s, ProcessingModel& p, std::vector<Layer> l,
-           std::function<void(Layer, Nanos)> pl, std::function<void(Nanos)> d)
-        : sim(s), proc(p), layers(std::move(l)), per_layer(std::move(pl)), done(std::move(d)) {}
-
-    void step() {
-      if (next >= layers.size()) {
-        done(sim.now());
-        return;
-      }
-      const Layer layer = layers[next++];
-      const Nanos dt = proc.sample(layer);
-      auto self = shared_from_this();
-      sim.schedule_after(dt, [self, layer, dt] {
-        if (self->per_layer) self->per_layer(layer, dt);
-        self->step();
-      });
+/// Traverse `layers` in order starting now. `per_layer` fires for each layer
+/// with (layer, sampled duration) — pass `nullptr` to skip; `done` fires
+/// once, on the simulated clock, with the completion time.
+template <typename PerLayer, typename Done>
+void traverse_layers(Simulator& sim, ProcessingModel& proc, std::span<const Layer> layers,
+                     PerLayer per_layer, Done done) {
+  Nanos total = Nanos::zero();
+  for (const Layer layer : layers) {
+    const Nanos dt = proc.sample(layer);
+    total += dt;
+    if constexpr (!std::is_same_v<PerLayer, std::nullptr_t>) {
+      per_layer(layer, dt);
     }
-  };
-  std::make_shared<Walker>(sim, proc, std::move(layers), std::move(per_layer), std::move(done))
-      ->step();
+  }
+  sim.schedule_after(total, [&sim, done = std::move(done)]() mutable { done(sim.now()); });
+}
+
+template <typename PerLayer, typename Done>
+void traverse_layers(Simulator& sim, ProcessingModel& proc, std::initializer_list<Layer> layers,
+                     PerLayer per_layer, Done done) {
+  traverse_layers(sim, proc, std::span<const Layer>{layers.begin(), layers.size()},
+                  std::move(per_layer), std::move(done));
 }
 
 }  // namespace u5g

@@ -47,7 +47,7 @@ std::uint32_t PdcpRx::infer_count(std::uint32_t sn) const {
   return best;
 }
 
-bool PdcpRx::receive(ByteBuffer&& pdu, const Deliver& deliver) {
+bool PdcpRx::receive(ByteBuffer&& pdu, Deliver deliver) {
   const std::size_t hdr = cfg_.header_bytes();
   if (pdu.size() < hdr + (cfg_.integrity_enabled ? 4u : 0u)) return false;
 
@@ -75,6 +75,14 @@ bool PdcpRx::receive(ByteBuffer&& pdu, const Deliver& deliver) {
 
   apply_keystream(pdu.bytes(), cfg_.security, count);
 
+  if (count == expected_ && held_.empty()) {
+    // In-order fast path (the loss-free steady state): deliver directly,
+    // never touching the reordering map — no node allocation per packet.
+    ++expected_;
+    deliver(std::move(pdu), count);
+    return true;
+  }
+
   held_.emplace(count, std::move(pdu));
   // Deliver the in-order run starting at expected_.
   for (auto it = held_.begin(); it != held_.end() && it->first == expected_;) {
@@ -85,7 +93,7 @@ bool PdcpRx::receive(ByteBuffer&& pdu, const Deliver& deliver) {
   return true;
 }
 
-void PdcpRx::flush(const Deliver& deliver) {
+void PdcpRx::flush(Deliver deliver) {
   for (auto& [count, buf] : held_) {
     deliver(std::move(buf), count);
     expected_ = count + 1;

@@ -8,11 +8,11 @@
 // delivery exactly as §6 describes for reliability mechanisms.
 
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <optional>
 
 #include "common/bytes.hpp"
+#include "common/function_ref.hpp"
 #include "pdcp/cipher.hpp"
 
 namespace u5g {
@@ -47,18 +47,19 @@ class PdcpTx {
 /// Receive-side PDCP: deciphers, verifies, reorders, delivers in order.
 class PdcpRx {
  public:
-  /// Callback receives each SDU exactly once, in COUNT order.
-  using Deliver = std::function<void(ByteBuffer&&, std::uint32_t count)>;
+  /// Callback receives each SDU exactly once, in COUNT order. Non-owning:
+  /// invoked synchronously before receive()/flush() return.
+  using Deliver = FunctionRef<void(ByteBuffer&&, std::uint32_t count)>;
 
   explicit PdcpRx(PdcpConfig cfg = {}) : cfg_(cfg) {}
 
   /// Process one PDU. Returns false if the PDU was discarded (bad integrity,
   /// duplicate, or stale). In-order SDUs (and any consecutive run they
   /// unblock) are handed to `deliver`.
-  bool receive(ByteBuffer&& pdu, const Deliver& deliver);
+  bool receive(ByteBuffer&& pdu, Deliver deliver);
 
   /// Force-deliver everything buffered (t-Reordering expiry): skips gaps.
-  void flush(const Deliver& deliver);
+  void flush(Deliver deliver);
 
   [[nodiscard]] std::size_t held_count() const { return held_.size(); }
   [[nodiscard]] std::uint32_t expected_count() const { return expected_; }

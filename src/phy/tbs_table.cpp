@@ -1,0 +1,50 @@
+#include "phy/tbs_table.hpp"
+
+#include <algorithm>
+
+#include "phy/transport_block.hpp"
+
+namespace u5g {
+
+const TbsTable& TbsTable::instance() {
+  static const TbsTable table;
+  return table;
+}
+
+TbsTable::TbsTable() {
+  for (int m = 0; m < kMcsCount; ++m) {
+    const McsEntry entry = mcs(m);
+    for (int sym = 1; sym <= kMaxSymbols; ++sym) {
+      Row& r = rows_[static_cast<std::size_t>(m) * kMaxSymbols + static_cast<std::size_t>(sym - 1)];
+      for (int prb = 1; prb <= kMaxPrb; ++prb) {
+        r[prb - 1] = transport_block_size_bits(Allocation{.n_prb = prb, .n_symbols = sym}, entry);
+      }
+    }
+  }
+}
+
+bool TbsTable::covers(const McsEntry& m, int n_symbols) {
+  if (n_symbols < 1 || n_symbols > kMaxSymbols) return false;
+  if (m.index < 0 || m.index >= kMcsCount) return false;
+  const McsEntry standard = mcs_table()[static_cast<std::size_t>(m.index)];
+  return m.modulation == standard.modulation && m.rate_x1024 == standard.rate_x1024;
+}
+
+int TbsTable::prbs_needed(int need_bits, const McsEntry& m, int n_symbols, int max_prb) const {
+  const Row& r = row(m.index, n_symbols);
+  const int hi = std::min(max_prb, kMaxPrb);
+  if (hi >= 1) {
+    const auto* end = r.begin() + hi;
+    const auto* it = std::lower_bound(r.begin(), end, need_bits);
+    if (it != end) return static_cast<int>(it - r.begin()) + 1;
+  }
+  // Caller asked for more PRBs than the table holds (non-standard carrier):
+  // finish the residue the way the linear scan would.
+  for (int prb = kMaxPrb + 1; prb <= max_prb; ++prb) {
+    Allocation a{.n_prb = prb, .n_symbols = n_symbols};
+    if (transport_block_size_bits(a, m) >= need_bits) return prb;
+  }
+  return 0;
+}
+
+}  // namespace u5g

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "phy/numerology.hpp"
+#include "phy/tbs_table.hpp"
 
 namespace u5g {
 
@@ -36,6 +37,13 @@ Segmentation segment_transport_block(int tbs_bits) {
 }
 
 int prbs_needed(int payload_bytes, int n_symbols, const McsEntry& mcs, int max_prb) {
+  if (TbsTable::covers(mcs, n_symbols)) {
+    return TbsTable::instance().prbs_needed(payload_bytes * 8, mcs, n_symbols, max_prb);
+  }
+  return prbs_needed_linear(payload_bytes, n_symbols, mcs, max_prb);
+}
+
+int prbs_needed_linear(int payload_bytes, int n_symbols, const McsEntry& mcs, int max_prb) {
   const int need_bits = payload_bytes * 8;
   for (int prb = 1; prb <= max_prb; ++prb) {
     Allocation a{.n_prb = prb, .n_symbols = n_symbols};

@@ -40,8 +40,15 @@ inline constexpr int kMaxCodeBlockBits = 8448;
 
 /// Smallest allocation (in PRBs) that fits `payload_bytes` within
 /// `n_symbols` symbols at the given MCS; returns 0 if even one PRB overshoots
-/// the requested ceiling `max_prb`.
+/// the requested ceiling `max_prb`. Binary-searches the memoized TBS table
+/// (phy/tbs_table.hpp) for standard MCS entries and in-slot symbol counts;
+/// falls back to the linear scan otherwise.
 [[nodiscard]] int prbs_needed(int payload_bytes, int n_symbols, const McsEntry& mcs,
                               int max_prb = 273);
+
+/// Reference O(max_prb) scan `prbs_needed` is verified against (also the
+/// fallback for non-standard MCS entries or out-of-slot symbol counts).
+[[nodiscard]] int prbs_needed_linear(int payload_bytes, int n_symbols, const McsEntry& mcs,
+                                     int max_prb = 273);
 
 }  // namespace u5g

@@ -13,7 +13,7 @@ void RlcTx::enqueue(ByteBuffer&& sdu, Nanos now) {
 
 std::size_t RlcTx::queued_bytes() const {
   std::size_t n = 0;
-  for (const QueuedSdu& q : queue_) n += q.sdu.size() - q.offset;
+  for (std::size_t i = 0; i < queue_.size(); ++i) n += queue_[i].sdu.size() - queue_[i].offset;
   return n;
 }
 
@@ -74,7 +74,7 @@ std::optional<RlcTxPdu> RlcTx::pull(std::size_t max_bytes) {
     }
   }
 
-  ByteBuffer pdu(payload);
+  ByteBuffer pdu = ByteBuffer::uninitialized(payload);
   const auto src = head.sdu.bytes().subspan(head.offset, payload);
   std::copy(src.begin(), src.end(), pdu.bytes().begin());
   h.encode(pdu);
@@ -130,7 +130,7 @@ std::size_t RlcTx::retransmit_unacked() {
 // ---------------------------------------------------------------------------
 // RlcRx
 
-std::optional<RlcHeader> RlcRx::receive(ByteBuffer&& pdu, const Deliver& deliver) {
+std::optional<RlcHeader> RlcRx::receive(ByteBuffer&& pdu, Deliver deliver) {
   auto h = RlcHeader::decode(pdu);
   if (!h) return std::nullopt;
 
@@ -140,7 +140,7 @@ std::optional<RlcHeader> RlcRx::receive(ByteBuffer&& pdu, const Deliver& deliver
   }
 
   if (h->si == SegmentInfo::Complete) {
-    received_[h->sn] = true;
+    if (mode_ == RlcMode::AM) received_[h->sn] = true;
     deliver(std::move(pdu));
     return h;
   }
@@ -160,7 +160,7 @@ std::optional<RlcHeader> RlcRx::receive(ByteBuffer&& pdu, const Deliver& deliver
   return h;
 }
 
-void RlcRx::try_reassemble(std::uint16_t sn, const Deliver& deliver) {
+void RlcRx::try_reassemble(std::uint16_t sn, Deliver deliver) {
   const auto it = partial_.find(sn);
   if (it == partial_.end()) return;
   Partial& part = it->second;
@@ -174,7 +174,7 @@ void RlcRx::try_reassemble(std::uint16_t sn, const Deliver& deliver) {
   }
   if (expect != part.last_end) return;
 
-  ByteBuffer sdu(part.last_end);
+  ByteBuffer sdu = ByteBuffer::uninitialized(part.last_end);
   std::size_t off = 0;
   for (auto& [so, seg] : part.segments) {
     const auto b = seg.bytes();
@@ -182,7 +182,7 @@ void RlcRx::try_reassemble(std::uint16_t sn, const Deliver& deliver) {
     off += b.size();
   }
   partial_.erase(it);
-  received_[sn] = true;
+  if (mode_ == RlcMode::AM) received_[sn] = true;
   deliver(std::move(sdu));
 }
 

@@ -11,12 +11,13 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <map>
 #include <optional>
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/function_ref.hpp"
+#include "common/ring.hpp"
 #include "common/time.hpp"
 #include "rlc/rlc_pdu.hpp"
 
@@ -85,7 +86,7 @@ class RlcTx {
   int poll_every_;
   int pdus_since_poll_ = 0;
   std::uint16_t next_sn_ = 0;
-  std::deque<QueuedSdu> queue_;
+  RingDeque<QueuedSdu> queue_;  ///< ring: a warm steady-state queue never allocates
   std::map<SnSo, SentPdu> sent_;                       ///< AM: awaiting ACK
   std::deque<SnSo> retx_;                              ///< AM: NACKed, to resend
 };
@@ -93,13 +94,14 @@ class RlcTx {
 /// Receive-side RLC: reassembles segments, delivers SDUs.
 class RlcRx {
  public:
-  using Deliver = std::function<void(ByteBuffer&&)>;
+  /// Non-owning delivery callback, invoked synchronously inside receive().
+  using Deliver = FunctionRef<void(ByteBuffer&&)>;
 
   explicit RlcRx(RlcMode mode) : mode_(mode) {}
 
   /// Process one PDU; complete SDUs go to `deliver`. Returns the decoded
   /// header (for AM status generation), or nullopt if malformed.
-  std::optional<RlcHeader> receive(ByteBuffer&& pdu, const Deliver& deliver);
+  std::optional<RlcHeader> receive(ByteBuffer&& pdu, Deliver deliver);
 
   /// AM: build a status report: cumulative ACK_SN (next expected) plus the
   /// NACK list of missing SNs below the highest seen.
@@ -119,13 +121,15 @@ class RlcRx {
     std::size_t last_end = 0;
   };
 
-  void try_reassemble(std::uint16_t sn, const Deliver& deliver);
+  void try_reassemble(std::uint16_t sn, Deliver deliver);
 
   RlcMode mode_;
   std::map<std::uint16_t, Partial> partial_;
   std::uint16_t highest_sn_seen_ = 0;
   bool any_seen_ = false;
-  std::map<std::uint16_t, bool> received_;  ///< AM: SN -> fully received
+  /// AM only: SN -> fully received, feeds build_status(). TM/UM never build
+  /// status reports, so they skip this bookkeeping (a map node per packet).
+  std::map<std::uint16_t, bool> received_;
 };
 
 }  // namespace u5g

@@ -17,9 +17,11 @@ namespace u5g {
 /// Type-erased `void()` callable with inline storage for small captures.
 class Action {
  public:
-  /// Inline capacity: six words, enough for small lambda captures and for a
-  /// whole `std::function` handed down from legacy call sites.
-  static constexpr std::size_t kInlineSize = 6 * sizeof(void*);
+  /// Inline capacity: twenty words — small lambda captures, a whole
+  /// `std::function` handed down from legacy call sites, and datapath
+  /// closures that carry a `ByteBuffer` (64 bytes) plus bookkeeping by
+  /// value, so moving a packet across an event never heap-allocates.
+  static constexpr std::size_t kInlineSize = 20 * sizeof(void*);
 
   Action() = default;
 

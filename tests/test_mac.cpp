@@ -175,10 +175,10 @@ TEST(BsrTest, CeEncodeDecode) {
 // MAC PDU
 
 TEST(MacPduTest, RoundTripWithPadding) {
-  std::vector<MacSubPdu> sub;
+  MacSubPdus sub;
   sub.push_back(MacSubPdu{Lcid::ShortBsr, ByteBuffer(1, 0x21)});
   sub.push_back(MacSubPdu{Lcid::Drb1, ByteBuffer(10, 0x42)});
-  ByteBuffer tb = build_mac_pdu(std::move(sub), 64);
+  ByteBuffer tb = build_mac_pdu(sub, 64);
   EXPECT_EQ(tb.size(), 64u);
 
   const auto parsed = parse_mac_pdu(std::move(tb));
@@ -191,18 +191,18 @@ TEST(MacPduTest, RoundTripWithPadding) {
 }
 
 TEST(MacPduTest, ExactFitNoPadding) {
-  std::vector<MacSubPdu> sub;
+  MacSubPdus sub;
   sub.push_back(MacSubPdu{Lcid::Drb1, ByteBuffer(5, 0x1)});
-  ByteBuffer tb = build_mac_pdu(std::move(sub), kMacSubheaderBytes + 5);
+  ByteBuffer tb = build_mac_pdu(sub, kMacSubheaderBytes + 5);
   const auto parsed = parse_mac_pdu(std::move(tb));
   ASSERT_TRUE(parsed.has_value());
   EXPECT_EQ(parsed->size(), 1u);
 }
 
 TEST(MacPduTest, OverflowThrows) {
-  std::vector<MacSubPdu> sub;
+  MacSubPdus sub;
   sub.push_back(MacSubPdu{Lcid::Drb1, ByteBuffer(100, 0x1)});
-  EXPECT_THROW(build_mac_pdu(std::move(sub), 50), std::length_error);
+  EXPECT_THROW(build_mac_pdu(sub, 50), std::length_error);
 }
 
 TEST(MacPduTest, MalformedParseReturnsNullopt) {

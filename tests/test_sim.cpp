@@ -225,7 +225,7 @@ TEST(ActionTest, InvokesSmallAndLargeCallables) {
 
   // > kInlineSize of captured state forces the heap path.
   struct Big {
-    double payload[16];
+    double payload[32];
   };
   Big big{};
   big.payload[0] = 2.5;
