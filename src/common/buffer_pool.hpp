@@ -80,7 +80,10 @@ class BufferPool {
   void release(Block* b) {
     if (b == nullptr) return;
     ++stats_.releases;
-    --stats_.outstanding;
+    // A block acquired on another thread releases here without ever having
+    // incremented this pool's `outstanding`; guard so migration cannot wrap
+    // the counter below zero.
+    if (stats_.outstanding > 0) --stats_.outstanding;
     if (b->cls < 0) {
       ::operator delete(b);
       return;
@@ -114,6 +117,10 @@ class BufferPool {
     stats_.releases = releases;
   }
 
+  /// Per-pool counters. These are exact only while blocks are released on
+  /// the thread that acquired them (the steady-state pattern); a block that
+  /// migrates across threads counts as outstanding on the source pool and
+  /// as a release on the destination pool, skewing both.
   struct Stats {
     std::uint64_t heap_allocations = 0;  ///< blocks carved from operator new
     std::uint64_t reuses = 0;            ///< acquires served by a freelist

@@ -26,18 +26,21 @@ class SmallVec {
   SmallVec& operator=(const SmallVec&) = delete;
 
   SmallVec(SmallVec&& o) noexcept {
+    size_ = o.size_;
     if (o.heap_ != nullptr) {
       heap_ = o.heap_;
       capacity_ = o.capacity_;
       o.heap_ = nullptr;
       o.capacity_ = N;
+      // The elements travelled with the heap block; o's inline buffer holds
+      // no constructed objects, so o must not run destructors over it.
+      o.size_ = 0;
     } else {
       for (std::size_t i = 0; i < o.size_; ++i) {
         ::new (data() + i) T(std::move(o.data()[i]));
       }
+      o.clear();
     }
-    size_ = o.size_;
-    o.clear();
   }
   SmallVec& operator=(SmallVec&& o) noexcept {
     if (this != &o) {

@@ -5,14 +5,14 @@
 
 namespace u5g {
 
-ByteBuffer build_mac_pdu(std::span<MacSubPdu> subpdus, std::size_t tb_bytes) {
+ByteBuffer build_mac_pdu(std::span<const MacSubPdu> subpdus, std::size_t tb_bytes) {
   std::size_t need = 0;
   for (const MacSubPdu& sp : subpdus) need += kMacSubheaderBytes + sp.payload.size();
   if (need > tb_bytes) throw std::length_error{"build_mac_pdu: subPDUs exceed transport block"};
 
   ByteBuffer tb(0);
   tb.reserve_tail(tb_bytes);  // one pooled block; all appends below are in-place
-  for (MacSubPdu& sp : subpdus) {
+  for (const MacSubPdu& sp : subpdus) {
     std::array<std::uint8_t, kMacSubheaderBytes> hdr{
         static_cast<std::uint8_t>(sp.lcid),
         static_cast<std::uint8_t>(sp.payload.size() >> 8),

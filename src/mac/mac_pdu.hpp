@@ -31,8 +31,8 @@ using MacSubPdus = SmallVec<MacSubPdu, 4>;
 
 /// Serialise subPDUs into one transport block of exactly `tb_bytes`
 /// (padding appended). Throws std::length_error if they do not fit.
-/// Payloads are consumed (moved from) — the span is non-const.
-[[nodiscard]] ByteBuffer build_mac_pdu(std::span<MacSubPdu> subpdus, std::size_t tb_bytes);
+/// Payloads are copied into the block; the subPDUs are left untouched.
+[[nodiscard]] ByteBuffer build_mac_pdu(std::span<const MacSubPdu> subpdus, std::size_t tb_bytes);
 
 /// Parse a transport block back into subPDUs (padding stripped).
 /// Returns nullopt on malformed input.

@@ -17,6 +17,7 @@
 
 #include "common/buffer_pool.hpp"
 #include "common/bytes.hpp"
+#include "common/small_vec.hpp"
 #include "common/time.hpp"
 #include "core/e2e_system.hpp"
 #include "mac/mac_pdu.hpp"
@@ -298,6 +299,71 @@ TEST(BufferPoolTest, WarmByteBuffersRecycleThroughTheThreadLocalPool) {
     b.append_zeros(16);
   }
   EXPECT_EQ(heap_before, BufferPool::local().stats().heap_allocations);
+}
+
+// ---------------------------------------------------------------------------
+// SmallVec: moving a heap-spilled vector transfers the heap block wholesale;
+// the source must end up empty without running destructors over the
+// never-constructed slots of its inline buffer (regression: the old move
+// ctor called clear() on the source after stealing the heap block, invoking
+// size_ destructors on garbage inline storage).
+
+struct LiveCounted {
+  explicit LiveCounted(int* live) : live_(live) { ++*live_; }
+  LiveCounted(LiveCounted&& o) noexcept : live_(o.live_) { ++*live_; }
+  ~LiveCounted() { --*live_; }
+  int* live_;
+};
+
+TEST(SmallVecTest, HeapSpilledMoveRunsNoSpuriousDestructors) {
+  int live = 0;
+  {
+    SmallVec<LiveCounted, 4> src;
+    for (int i = 0; i < 6; ++i) src.emplace_back(&live);  // spills past N=4
+    ASSERT_EQ(6, live);
+    SmallVec<LiveCounted, 4> dst(std::move(src));
+    EXPECT_EQ(6, live) << "move must transfer elements, not destroy them";
+    EXPECT_EQ(6u, dst.size());
+    EXPECT_TRUE(src.empty());
+    src.emplace_back(&live);  // source stays usable after the move
+    EXPECT_EQ(7, live);
+  }
+  EXPECT_EQ(0, live) << "constructions and destructions must balance";
+}
+
+TEST(SmallVecTest, MoveAssignFromHeapSpilledSource) {
+  int live = 0;
+  SmallVec<LiveCounted, 2> a;
+  for (int i = 0; i < 5; ++i) a.emplace_back(&live);
+  SmallVec<LiveCounted, 2> b;
+  b.emplace_back(&live);
+  b = std::move(a);
+  EXPECT_EQ(5u, b.size());
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(5, live);
+  b.clear();
+  EXPECT_EQ(0, live);
+}
+
+TEST(SmallVecTest, ParsingManySubPdusSurvivesTheMoveOutOfParse) {
+  // The reviewer's repro: 5+ subPDUs spill MacSubPdus past its inline
+  // capacity, and parse_mac_pdu's `return out;` move-constructs the spilled
+  // vector into the optional. Round-trip must hold and nothing may corrupt
+  // the buffer pool (the pooled payloads are released on scope exit below,
+  // then reacquired cleanly).
+  MacSubPdus sub;
+  for (int i = 0; i < 6; ++i) {
+    sub.emplace_back(MacSubPdu{Lcid::Drb1, ByteBuffer(40, static_cast<std::uint8_t>(i + 1))});
+  }
+  ByteBuffer tb = build_mac_pdu(sub, 6 * (kMacSubheaderBytes + 40) + 10);
+  auto parsed = parse_mac_pdu(std::move(tb));
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(6u, parsed->size());
+  for (std::size_t i = 0; i < parsed->size(); ++i) {
+    const auto bytes = (*parsed)[i].payload.bytes();
+    ASSERT_EQ(40u, bytes.size());
+    EXPECT_EQ(static_cast<std::uint8_t>(i + 1), bytes[0]);
+  }
 }
 
 // ---------------------------------------------------------------------------
