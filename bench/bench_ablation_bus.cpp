@@ -27,7 +27,7 @@ struct Outcome {
 };
 
 Outcome run(const RadioHeadParams& rh, int packets, std::uint64_t seed) {
-  E2eConfig cfg = E2eConfig::testbed(/*grant_free=*/true, seed);
+  StackConfig cfg = StackConfig::testbed_grant_free(seed);
   cfg.gnb_radio = rh;
   // Tune the staging lead to this bus: nominal slot-buffer cost + slack.
   RadioHead probe(rh, Rng{1});

@@ -30,7 +30,7 @@ struct Outcome {
 };
 
 Outcome run(Nanos lead, int packets, std::uint64_t seed) {
-  E2eConfig cfg = E2eConfig::testbed(/*grant_free=*/false, seed);
+  StackConfig cfg = StackConfig::testbed_grant_based(seed);
   cfg.sched.radio_lead = lead;
   E2eSystem sys(std::move(cfg));
   Rng rng(seed * 13 + 5);

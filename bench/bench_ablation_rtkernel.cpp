@@ -40,7 +40,7 @@ struct Outcome {
 };
 
 Replication run_one(bool rt, int packets, std::uint64_t seed) {
-  E2eConfig cfg = E2eConfig::testbed(/*grant_free=*/false, seed);
+  StackConfig cfg = StackConfig::testbed_grant_based(seed);
   cfg.sched.radio_lead = Nanos{430'000};  // tight: little slack over the bus cost
   if (rt) cfg.gnb_radio.bus = cfg.gnb_radio.bus.with_rt_kernel();
   E2eSystem sys(std::move(cfg));

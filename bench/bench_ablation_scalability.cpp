@@ -97,7 +97,8 @@ int main(int argc, char** argv) {
   std::printf("   %6s | %18s | %18s\n", "UEs", "grant-free", "grant-based");
   std::printf("   %6s | %8s %9s | %8s %9s\n", "", "mean[ms]", "p99[ms]", "mean[ms]", "p99[ms]");
   const auto simulate = [&](int n_ues, bool grant_free, std::uint64_t seed) {
-    E2eConfig cfg = E2eConfig::testbed(grant_free, seed);
+    StackConfig cfg = grant_free ? StackConfig::testbed_grant_free(seed)
+                                 : StackConfig::testbed_grant_based(seed);
     cfg.num_ues = n_ues;
     E2eSystem sys(std::move(cfg));
     const Nanos pattern = 2_ms;

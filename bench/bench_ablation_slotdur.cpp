@@ -24,7 +24,7 @@ namespace {
 constexpr int kPackets = 1200;
 
 double mean_dl_latency_ms(Numerology num, const RadioHeadParams& rh, std::uint64_t seed) {
-  E2eConfig cfg = E2eConfig::testbed(/*grant_free=*/true, seed);
+  StackConfig cfg = StackConfig::testbed_grant_free(seed);
   cfg.duplex = std::make_shared<TddCommonConfig>(TddCommonConfig::dddu(num));
   cfg.gnb_radio = rh;
   cfg.ue_radio = RadioHeadParams::pcie_sdr();

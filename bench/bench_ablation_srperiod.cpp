@@ -22,7 +22,7 @@ struct Outcome {
 };
 
 Outcome run(Nanos sr_period, std::uint64_t seed) {
-  E2eConfig cfg = E2eConfig::testbed(/*grant_free=*/false, seed);
+  StackConfig cfg = StackConfig::testbed_grant_based(seed);
   cfg.sr = SrConfig{sr_period, 1, 8};
   E2eSystem sys(std::move(cfg));
   Rng rng(seed + 1);

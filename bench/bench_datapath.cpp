@@ -5,11 +5,18 @@
 // decap. Reports warm packets/s per payload size, a per-component breakdown,
 // and heap allocations per warm packet (the pooled datapath claims zero).
 //
-//   bench_datapath [--packets N] [--json FILE]
+//   bench_datapath [--packets N] [--json FILE] [--trace FILE]
+//                  [--metrics FILE] [--strict]
+//
+// `--trace` writes the per-payload measurement phases as a Chrome trace;
+// `--metrics` adds an instrumented pass recording per-packet wall time into
+// a LatencyHistogram; `--strict` makes any nonzero allocs/packet a hard
+// failure (CI's zero-allocation regression gate).
 //
 // Self-check: every payload must round-trip bit-identically, and the warm
 // path must stay allocation-free once buffer pools and queues are warm.
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -29,6 +36,9 @@
 #include "rlc/rlc_entity.hpp"
 #include "sdap/qos.hpp"
 #include "sdap/sdap_entity.hpp"
+#include "trace/chrome_trace.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
 
 // ---------------------------------------------------------------------------
 // Counting global allocator: measures heap traffic of the warm datapath.
@@ -96,8 +106,8 @@ struct Datapath {
     if (!parsed) return 0;
     for (MacSubPdu& sp : *parsed) {
       if (sp.lcid != Lcid::Drb1) continue;
-      rlc_rx.receive(std::move(sp.payload), [&](ByteBuffer&& sdu) {
-        pdcp_rx.receive(std::move(sdu), [&](ByteBuffer&& plain, std::uint32_t) {
+      rlc_rx.receive(std::move(sp.payload), [&](ByteBuffer&& sdu, const PacketMeta&) {
+        pdcp_rx.receive(std::move(sdu), [&](ByteBuffer&& plain, const PacketMeta&) {
           (void)sdap.decapsulate(plain);
           if (plain.size() == payload_bytes && plain.bytes()[0] == fill) {
             delivered = plain.size();
@@ -121,9 +131,11 @@ struct FullStackResult {
   std::size_t payload = 0;
   double packets_per_sec = 0.0;
   double allocs_per_packet = 0.0;
+  std::size_t allocs = 0;
 };
 
-FullStackResult run_full_stack(std::size_t payload, int packets) {
+FullStackResult run_full_stack(std::size_t payload, int packets,
+                               LatencyHistogram* hist = nullptr) {
   Datapath dp(payload);
   // Warm-up: fill buffer pools, RLC queues and PDCP state past their
   // high-water marks so the measured phase is the steady state.
@@ -146,8 +158,18 @@ FullStackResult run_full_stack(std::size_t payload, int packets) {
                  static_cast<std::size_t>(packets) - ok, packets);
     std::exit(1);
   }
+  if (hist) {
+    // Separately-timed instrumented pass: the throughput loop above stays
+    // untouched; this one pays a clock read per packet to fill the histogram.
+    const int sample = std::min(packets, 20'000);
+    for (int i = 0; i < sample; ++i) {
+      const auto s0 = Clock::now();
+      dp.pump(static_cast<std::uint8_t>(i | 1));
+      hist->record(std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - s0).count());
+    }
+  }
   return {payload, static_cast<double>(packets) / dt,
-          static_cast<double>(allocs) / static_cast<double>(packets)};
+          static_cast<double>(allocs) / static_cast<double>(packets), allocs};
 }
 
 // ---------------------------------------------------------------------------
@@ -200,11 +222,26 @@ int main(int argc, char** argv) {
   const int packets = opt.packets > 0 ? opt.packets : 200'000;
 
   const std::size_t payloads[] = {64, 256, 1250};
+  // Literal names: TraceSpan/LatencyHistogram want storage outliving them.
+  const char* const phase_name[] = {"full-stack 64 B", "full-stack 256 B", "full-stack 1250 B"};
+  const char* const hist_name[] = {"datapath.packet_wall_ns.64", "datapath.packet_wall_ns.256",
+                                   "datapath.packet_wall_ns.1250"};
+  std::vector<TraceSpan> spans;
+  MetricsRegistry metrics;
   std::vector<FullStackResult> results;
+  const auto bench_t0 = Clock::now();
+  const auto wall = [&] {
+    return Nanos{std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - bench_t0)
+                     .count()};
+  };
   std::printf("bench_datapath — warm full-stack per-packet datapath\n");
   std::printf("%8s %16s %18s\n", "payload", "packets/s", "allocs/packet");
-  for (const std::size_t p : payloads) {
-    results.push_back(run_full_stack(p, packets));
+  for (std::size_t pi = 0; pi < 3; ++pi) {
+    LatencyHistogram* hist = opt.metrics ? &metrics.histogram(hist_name[pi]) : nullptr;
+    const Nanos t_begin = wall();
+    results.push_back(run_full_stack(payloads[pi], packets, hist));
+    spans.push_back(TraceSpan{phase_name[pi], LatencyCategory::Processing,
+                              static_cast<std::int32_t>(pi), t_begin, wall()});
     std::printf("%8zu %16.0f %18.3f\n", results.back().payload,
                 results.back().packets_per_sec, results.back().allocs_per_packet);
   }
@@ -241,6 +278,33 @@ int main(int argc, char** argv) {
                  "  \"prbs_lookups_per_sec\": %.1f\n}\n",
                  cipher64, cipher1250, integ64, integ1250, prbs);
     std::fclose(f);
+  }
+
+  if (opt.trace && !write_chrome_trace(*opt.trace, spans, "bench_datapath")) {
+    std::fprintf(stderr, "bench_datapath: cannot write %s\n", opt.trace->c_str());
+    return 1;
+  }
+  if (opt.metrics) {
+    std::size_t total_allocs = 0;
+    for (const FullStackResult& r : results) total_allocs += r.allocs;
+    metrics.counter("datapath.packets").set(static_cast<std::uint64_t>(packets) * results.size());
+    metrics.counter("datapath.warm_allocs").set(total_allocs);
+    if (!metrics.write_json(*opt.metrics)) {
+      std::fprintf(stderr, "bench_datapath: cannot write %s\n", opt.metrics->c_str());
+      return 1;
+    }
+  }
+  if (opt.strict) {
+    for (const FullStackResult& r : results) {
+      if (r.allocs_per_packet > 0.0) {
+        std::fprintf(stderr,
+                     "bench_datapath: --strict: %zu B payload allocated %.3f/packet "
+                     "on the warm path (expected 0)\n",
+                     r.payload, r.allocs_per_packet);
+        return 1;
+      }
+    }
+    std::printf("\n--strict: warm path allocation-free for all payloads\n");
   }
   return 0;
 }

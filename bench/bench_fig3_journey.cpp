@@ -2,16 +2,54 @@
 // sequence through both stacks and its decomposition into the paper's three
 // latency categories (protocol / processing / radio), on a DDDU pattern as
 // in Fig 3.
+//
+//   bench_fig3_journey [--trace FILE] [--metrics FILE]
+//
+// `--trace` exports the whole round trip as one Chrome trace_event waterfall
+// row (load FILE in chrome://tracing or Perfetto to see Fig 3 interactively);
+// `--metrics` writes the category decomposition as a metrics JSON.
 
 #include <cstdio>
+#include <vector>
 
+#include "common/cli.hpp"
 #include "core/gantt.hpp"
 #include "core/journey.hpp"
 #include "tdd/common_config.hpp"
+#include "trace/chrome_trace.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
 
 using namespace u5g;
 
-int main() {
+namespace {
+
+/// Flatten the journey into contiguous TraceSpans on seq 0 (one waterfall
+/// row): UL timeline steps, the three core/server hops, DL timeline steps.
+std::vector<TraceSpan> journey_spans(const PingJourney& j) {
+  std::vector<TraceSpan> spans;
+  const auto add_steps = [&](const Timeline& t) {
+    for (const TimelineStep& s : t.steps) {
+      spans.push_back(TraceSpan{s.label, s.category, 0, s.start, s.end});
+    }
+  };
+  add_steps(j.uplink);
+  Nanos at = j.uplink.completion;
+  const auto hop = [&](std::string_view name, LatencyCategory cat, Nanos d) {
+    spans.push_back(TraceSpan{name, cat, 0, at, at + d});
+    at += d;
+  };
+  hop("core network uplink (gNB -> UPF -> server)", LatencyCategory::Protocol, j.core_uplink);
+  hop("server turnaround", LatencyCategory::Processing, j.turnaround);
+  hop("core network downlink (server -> UPF -> gNB)", LatencyCategory::Protocol, j.core_downlink);
+  add_steps(j.downlink);
+  return spans;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opt = parse_bench_options(argc, argv);
   std::printf("== Figs 2-3: journey of a ping request (DDDU pattern) ==\n\n");
 
   const TddCommonConfig dddu = TddCommonConfig::dddu(kMu1);
@@ -51,5 +89,28 @@ int main() {
   std::printf("\nprotocol latency is the largest category: %s (paper: \"the protocol latency is "
               "the most significant\")\n",
               protocol_dominates ? "YES" : "NO");
+
+  if (opt.trace) {
+    const std::vector<TraceSpan> spans = journey_spans(j);
+    if (!write_chrome_trace(*opt.trace, spans, "bench_fig3_journey")) {
+      std::fprintf(stderr, "bench_fig3_journey: cannot write %s\n", opt.trace->c_str());
+      return 1;
+    }
+    std::printf("wrote %zu spans to %s (open in chrome://tracing)\n", spans.size(),
+                opt.trace->c_str());
+  }
+  if (opt.metrics) {
+    MetricsRegistry m;
+    m.counter("journey.rtt_ns").set(static_cast<std::uint64_t>(j.rtt.count()));
+    for (LatencyCategory c :
+         {LatencyCategory::Protocol, LatencyCategory::Processing, LatencyCategory::Radio}) {
+      m.counter(std::string("journey.") + to_string(c) + "_ns")
+          .set(static_cast<std::uint64_t>(j.category_total(c).count()));
+    }
+    if (!m.write_json(*opt.metrics)) {
+      std::fprintf(stderr, "bench_fig3_journey: cannot write %s\n", opt.metrics->c_str());
+      return 1;
+    }
+  }
   return protocol_dominates ? 0 : 1;
 }

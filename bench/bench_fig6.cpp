@@ -39,7 +39,8 @@ struct RunOutput {
 };
 
 RunOutput run_one(bool grant_free, int packets, std::uint64_t seed) {
-  E2eSystem sys(E2eConfig::testbed(grant_free, seed));
+  E2eSystem sys(grant_free ? StackConfig::testbed_grant_free(seed)
+                           : StackConfig::testbed_grant_based(seed));
   const Nanos period = 2_ms;  // DDDU at 0.5 ms slots
   Rng rng(seed ^ 0xF16);
   // One UL and one DL packet per pattern, at independent uniform offsets;

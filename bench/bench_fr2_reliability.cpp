@@ -30,7 +30,7 @@ struct Outcome {
 
 SampleSet run_one(std::optional<MmWaveBlockage::Params> blockage, int packets,
                   std::uint64_t seed) {
-  E2eConfig cfg;
+  StackConfig cfg;
   cfg.duplex = std::make_shared<TddCommonConfig>(TddCommonConfig::dddu(kMu3));
   cfg.grant_free = true;
   cfg.cg = ConfiguredGrantConfig::periodic(kMu3.slot_duration(), 256, 4);

@@ -96,7 +96,7 @@ BENCHMARK(BM_SimulatorPeriodicChain);
 void BM_E2eTestbedRun(benchmark::State& state) {
   const int packets = static_cast<int>(state.range(0));
   for (auto _ : state) {
-    E2eSystem sys(E2eConfig::testbed(/*grant_free=*/true, 42));
+    E2eSystem sys(StackConfig::testbed_grant_free(42));
     Rng rng(42 ^ 0xF16);
     const Nanos period = 2_ms;
     for (int i = 0; i < packets; ++i) {
@@ -133,7 +133,7 @@ void BM_PdcpProtectVerify(benchmark::State& state) {
     ByteBuffer b(n, 0x42);
     tx.protect(b);
     int delivered = 0;
-    rx.receive(std::move(b), [&](ByteBuffer&&, std::uint32_t) { ++delivered; });
+    rx.receive(std::move(b), [&](ByteBuffer&&, const PacketMeta&) { ++delivered; });
     benchmark::DoNotOptimize(delivered);
   }
   state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(n));
@@ -148,7 +148,7 @@ void BM_RlcSegmentReassemble(benchmark::State& state) {
     tx.enqueue(ByteBuffer(n, 0x7), Nanos::zero());
     int delivered = 0;
     while (auto pdu = tx.pull(128)) {
-      rx.receive(std::move(pdu->pdu), [&](ByteBuffer&&) { ++delivered; });
+      rx.receive(std::move(pdu->pdu), [&](ByteBuffer&&, const PacketMeta&) { ++delivered; });
     }
     benchmark::DoNotOptimize(delivered);
   }

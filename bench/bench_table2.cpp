@@ -4,21 +4,36 @@
 // it emerges from the per-slot scheduler serving the DL RLC queue, and this
 // bench verifies the emergent value lands near the paper's 484 µs.
 
+// CLI: [--packets N] [--seed S] [--trace FILE] [--metrics FILE] — tracing
+// flags flip StackConfig::trace on, so the same run that prints the table
+// also dumps every packet's waterfall and the registry's histograms.
+
 #include <cstdio>
 
+#include "common/cli.hpp"
 #include "common/table.hpp"
 #include "core/e2e_system.hpp"
+#include "trace/chrome_trace.hpp"
 
 using namespace u5g;
 using namespace u5g::literals;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchOptions defaults;
+  defaults.packets = 3000;
+  defaults.seed = 7;
+  const BenchOptions opt = parse_bench_options(argc, argv, defaults);
+
   std::printf("== Table 2: gNB per-layer processing and queuing time [us] ==\n\n");
 
-  E2eSystem sys(E2eConfig::testbed(/*grant_free=*/false, 7));
+  StackConfig cfg = StackConfig::testbed_grant_based(opt.seed);
+  cfg.trace.enabled = opt.trace.has_value() || opt.metrics.has_value();
+  cfg.trace.spans = opt.trace.has_value();
+  cfg.trace.metrics = opt.metrics.has_value();
+  E2eSystem sys(cfg);
   const Nanos period = 2_ms;
   Rng rng(99);
-  constexpr int kPackets = 3000;
+  const int kPackets = opt.packets > 0 ? opt.packets : 3000;
   for (int i = 0; i < kPackets; ++i) {
     const Nanos base = period * (2 * i);
     sys.send_uplink_at(base + Nanos{static_cast<std::int64_t>(
@@ -60,5 +75,17 @@ int main() {
   std::printf("note: RLC-q emerges from slot geometry + scheduler lead, not from a draw.\n");
   std::printf("reproduction %s Table 2 (calibrated rows within 15%%, RLC-q within 35%%)\n",
               ok ? "MATCHES" : "DIFFERS FROM");
+
+  if (opt.trace && !write_chrome_trace(*opt.trace, sys.tracer().spans(), "bench_table2")) {
+    std::fprintf(stderr, "bench_table2: cannot write %s\n", opt.trace->c_str());
+    return 1;
+  }
+  if (opt.metrics) {
+    sys.metrics().counter("sim.events_fired").set(sys.simulator().events_fired());
+    if (!sys.metrics().write_json(*opt.metrics)) {
+      std::fprintf(stderr, "bench_table2: cannot write %s\n", opt.metrics->c_str());
+      return 1;
+    }
+  }
   return ok ? 0 : 1;
 }

@@ -21,7 +21,7 @@ namespace {
 constexpr int kFrames = 1500;
 
 void run(const char* title, double channel_loss, std::uint64_t seed) {
-  E2eConfig cfg = E2eConfig::urllc_design(seed);
+  StackConfig cfg = StackConfig::urllc_design(seed);
   cfg.channel_loss = channel_loss;
   cfg.payload_bytes = 192;  // 48 kHz * 24-bit stereo * 250 us + header
   E2eSystem sys(std::move(cfg));

@@ -26,7 +26,7 @@ struct LoopStats {
   double dl_reliability;
 };
 
-LoopStats run_control_loop(E2eConfig cfg, Nanos cycle, Nanos deadline) {
+LoopStats run_control_loop(StackConfig cfg, Nanos cycle, Nanos deadline) {
   E2eSystem sys(std::move(cfg));
   // Periodic control traffic: command down at the cycle start, sensor report
   // up half a cycle later.
@@ -55,18 +55,18 @@ int main() {
   std::printf("   %-28s %10s %10s %14s %14s\n", "configuration", "UL p99", "DL p99",
               "UL in-deadline", "DL in-deadline");
 
-  const LoopStats testbed = run_control_loop(E2eConfig::testbed(/*grant_free=*/false, 5), cycle,
+  const LoopStats testbed = run_control_loop(StackConfig::testbed_grant_based(5), cycle,
                                              deadline);
   std::printf("   %-28s %8.0fus %8.0fus %13.2f%% %13.2f%%\n",
               "testbed (DDDU, USB2, SR/grant)", testbed.ul_p99_us, testbed.dl_p99_us,
               testbed.ul_reliability * 100, testbed.dl_reliability * 100);
 
-  const LoopStats gf = run_control_loop(E2eConfig::testbed(/*grant_free=*/true, 6), cycle,
+  const LoopStats gf = run_control_loop(StackConfig::testbed_grant_free(6), cycle,
                                         deadline);
   std::printf("   %-28s %8.0fus %8.0fus %13.2f%% %13.2f%%\n", "testbed + grant-free UL",
               gf.ul_p99_us, gf.dl_p99_us, gf.ul_reliability * 100, gf.dl_reliability * 100);
 
-  const LoopStats urllc = run_control_loop(E2eConfig::urllc_design(7), cycle, deadline);
+  const LoopStats urllc = run_control_loop(StackConfig::urllc_design(7), cycle, deadline);
   std::printf("   %-28s %8.0fus %8.0fus %13.2f%% %13.2f%%\n",
               "URLLC design (DM, PCIe, CG)", urllc.ul_p99_us, urllc.dl_p99_us,
               urllc.ul_reliability * 100, urllc.dl_reliability * 100);

@@ -42,7 +42,7 @@ int main() {
   }
 
   // --- 4. The full event-driven system ------------------------------------
-  E2eSystem sys(E2eConfig::urllc_design(/*seed=*/1));
+  E2eSystem sys(StackConfig::urllc_design(/*seed=*/1));
   Rng rng(2);
   for (int i = 0; i < 200; ++i) {
     sys.send_uplink_at(1_ms * (2 * i) + Nanos{static_cast<std::int64_t>(rng.uniform() * 5e5)});

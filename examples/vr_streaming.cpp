@@ -26,7 +26,7 @@ struct Outcome {
   double in_budget_frac;
 };
 
-Outcome run(E2eConfig cfg, std::size_t frame_bytes, Nanos budget) {
+Outcome run(StackConfig cfg, std::size_t frame_bytes, Nanos budget) {
   cfg.payload_bytes = frame_bytes;
   cfg.dl_tb_slack = 256;
   E2eSystem sys(std::move(cfg));
@@ -50,14 +50,14 @@ int main() {
 
   struct Case {
     const char* label;
-    E2eConfig cfg;
+    StackConfig cfg;
     std::size_t frame_bytes;
   };
   Case cases[] = {
-      {"testbed, 2 KB slices", E2eConfig::testbed(true, 81), 2'000},
-      {"testbed, 12 KB frames", E2eConfig::testbed(true, 82), 12'000},
-      {"URLLC design, 2 KB slices", E2eConfig::urllc_design(83), 2'000},
-      {"URLLC design, 12 KB frames", E2eConfig::urllc_design(84), 12'000},
+      {"testbed, 2 KB slices", StackConfig::testbed_grant_free(81), 2'000},
+      {"testbed, 12 KB frames", StackConfig::testbed_grant_free(82), 12'000},
+      {"URLLC design, 2 KB slices", StackConfig::urllc_design(83), 2'000},
+      {"URLLC design, 12 KB frames", StackConfig::urllc_design(84), 12'000},
   };
 
   for (auto& c : cases) {

@@ -4,6 +4,13 @@
 //   bench_xyz [--packets N] [--trials N] [--seed S] [--threads T]
 //             [--json FILE] [--out DIR]  (or a positional DIR, kept for
 //             backward-compatible CSV dumping)
+//             [--trace FILE] [--metrics FILE] [--strict]
+//
+// `--trace` enables the tracing subsystem and writes a Chrome trace_event
+// JSON (chrome://tracing / Perfetto); `--metrics` enables the metrics
+// registry and writes its JSON export; `--strict` turns on bench-specific
+// self-check assertions (a failed assertion exits non-zero — CI's
+// regression gate).
 //
 // Every bench fills the defaults it cares about and calls
 // `parse_bench_options`; CI uses the same flags to run quick smoke
@@ -26,6 +33,9 @@ struct BenchOptions {
   int threads = 0;        ///< runner workers; 0 = hardware concurrency
   std::optional<std::string> out_dir;  ///< CSV dump directory
   std::optional<std::string> json;     ///< machine-readable result file
+  std::optional<std::string> trace;    ///< Chrome trace_event JSON output
+  std::optional<std::string> metrics;  ///< metrics-registry JSON output
+  bool strict = false;                 ///< enable bench self-check assertions
 };
 
 namespace detail {
@@ -68,9 +78,15 @@ inline BenchOptions parse_bench_options(int argc, char** argv, BenchOptions defa
       o.json = next(a);
     } else if (std::strcmp(a, "--out") == 0) {
       o.out_dir = next(a);
+    } else if (std::strcmp(a, "--trace") == 0) {
+      o.trace = next(a);
+    } else if (std::strcmp(a, "--metrics") == 0) {
+      o.metrics = next(a);
+    } else if (std::strcmp(a, "--strict") == 0) {
+      o.strict = true;
     } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
       std::printf("usage: %s [--packets N] [--trials N] [--seed S] [--threads T] "
-                  "[--json FILE] [--out DIR | DIR]\n",
+                  "[--json FILE] [--out DIR | DIR] [--trace FILE] [--metrics FILE] [--strict]\n",
                   argv[0]);
       std::exit(0);
     } else if (a[0] != '-') {

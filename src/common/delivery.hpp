@@ -1,0 +1,35 @@
+#pragma once
+// The one delivery-callback surface shared by every layer entity.
+//
+// SDAP, PDCP, RLC and MAC all hand a finished SDU upward synchronously; each
+// used to declare its own FunctionRef shape (RLC passed nothing, PDCP passed
+// the COUNT, MAC returned a subPDU list). `DeliveryFn` unifies them: the
+// payload moves up, and a small by-value `PacketMeta` carries whichever
+// layer identifiers the producing entity knows. Fields a layer does not own
+// are left at their zero defaults — a PDCP delivery fills `count`, an RLC
+// delivery fills `sn`, and so on.
+//
+// PacketMeta is a plain aggregate built on the producing entity's stack, so
+// adopting this surface costs no allocation and keeps the warm datapath
+// allocation-free. The same lifetime rule as FunctionRef applies: a
+// DeliveryFn is a call-and-return parameter, never stored.
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/function_ref.hpp"
+
+namespace u5g {
+
+/// Layer identifiers travelling alongside a delivered SDU.
+struct PacketMeta {
+  std::uint32_t count = 0;  ///< PDCP COUNT (set by PDCP deliveries)
+  std::uint16_t sn = 0;     ///< RLC sequence number (set by RLC deliveries)
+  std::uint8_t lcid = 0;    ///< MAC logical channel id (set by MAC deliveries)
+  std::uint8_t qfi = 0;     ///< SDAP QoS flow id (set by SDAP deliveries)
+};
+
+/// Unified upward-delivery callback: payload plus the producer's metadata.
+using DeliveryFn = FunctionRef<void(ByteBuffer&&, const PacketMeta&)>;
+
+}  // namespace u5g

@@ -5,11 +5,12 @@
 #include <utility>
 
 #include "common/bytes.hpp"
+#include "common/delivery.hpp"
+#include "common/taxonomy.hpp"
 #include "mac/bsr.hpp"
 #include "mac/mac_pdu.hpp"
 #include "node/pipeline.hpp"
 #include "phy/transport_block.hpp"
-#include "tdd/common_config.hpp"
 #include "tdd/opportunity.hpp"
 
 namespace u5g {
@@ -33,50 +34,14 @@ int read_seq(const ByteBuffer& b) {
   return static_cast<int>(get_be32(b.bytes().subspan(0, 4)));
 }
 
+/// Tracer span names for per-layer traversal observers, indexed by Layer.
+/// Static literals: TraceSpan holds string_views.
+constexpr std::array<const char*, 6> kGnbLayerSpan = {"gNB SDAP", "gNB PDCP", "gNB RLC",
+                                                      "gNB MAC",  "gNB PHY",  "gNB APP"};
+constexpr std::array<const char*, 6> kUeLayerSpan = {"UE SDAP", "UE PDCP", "UE RLC",
+                                                     "UE MAC",  "UE PHY",  "UE APP"};
+
 }  // namespace
-
-// ===========================================================================
-
-E2eConfig E2eConfig::testbed(bool grant_free, std::uint64_t seed) {
-  E2eConfig c;
-  c.duplex = std::make_shared<TddCommonConfig>(TddCommonConfig::dddu(kMu1));
-  c.grant_free = grant_free;
-  c.sr = SrConfig::per_slot(kMu1);
-  c.cg = ConfiguredGrantConfig::periodic(kMu1.slot_duration(), 256, 4);
-  c.sched.radio_lead = kMu1.slot_duration();  // §7: delay one slot for the RH
-  c.sched.margin = Nanos{100'000};
-  c.sched.ue_min_prep = Nanos{300'000};
-  c.sched.ul_tx_symbols = 4;
-  c.sched.ul_tb_bytes = 256;
-  c.gnb_radio = RadioHeadParams::usrp_b210_usb2();
-  c.ue_radio = RadioHeadParams::pcie_sdr();
-  c.harq_feedback_delay = kMu1.slot_duration();
-  c.seed = seed;
-  return c;
-}
-
-E2eConfig E2eConfig::urllc_design(std::uint64_t seed) {
-  E2eConfig c;
-  c.duplex = std::make_shared<TddCommonConfig>(TddCommonConfig::dm(kMu2));
-  c.grant_free = true;
-  c.cg = ConfiguredGrantConfig::every_symbol(256, 2);
-  // The staging lead must cover PHY encode (incl. the Table 2 draw's tail),
-  // the PCIe submission and the DAC chain — §4's interdependency, tuned.
-  c.sched.radio_lead = Nanos{150'000};
-  c.sched.margin = Nanos{50'000};
-  c.sched.ue_min_prep = Nanos{100'000};
-  c.sched.ul_tx_symbols = 2;
-  c.sched.ul_tb_bytes = 256;
-  c.gnb_radio = RadioHeadParams::pcie_sdr();
-  c.gnb_radio.bus = c.gnb_radio.bus.with_rt_kernel();
-  c.ue_radio = RadioHeadParams::pcie_sdr();
-  c.ue_radio.bus = c.ue_radio.bus.with_rt_kernel();
-  c.gnb_proc = ProcessingProfile::gnb_i7();
-  c.ue_proc = ProcessingProfile::gnb_i7();  // software UE, not a modem black box
-  c.harq_feedback_delay = kMu2.slot_duration();
-  c.seed = seed;
-  return c;
-}
 
 // ===========================================================================
 
@@ -85,7 +50,7 @@ struct E2eSystem::Impl {
   /// gNB's chain of the same index), SR state, configured-grant schedule,
   /// and HARQ retransmission buffer.
   struct UeCtx {
-    UeCtx(int idx, const E2eConfig& cfg, Rng rng)
+    UeCtx(int idx, const StackConfig& cfg, Rng rng)
         : index(idx),
           id(static_cast<std::uint32_t>(idx + 1)),
           stack(cfg.ue_proc, cfg.ue_radio, cfg.phy, cfg.rlc_mode, rng.fork(), 1,
@@ -110,6 +75,11 @@ struct E2eSystem::Impl {
     bool cg_scheduled = false;
     bool ul_reorder_armed = false;  ///< gNB-side t-Reordering for this UE's UL
     bool dl_reorder_armed = false;  ///< UE-side t-Reordering for DL
+    /// Tracing follows the most recently injected packet per UE and
+    /// direction (-1 = none); overlapping packets on one UE attribute
+    /// best-effort to the newest, the tiling invariant still holds.
+    std::int32_t ul_trace = -1;
+    std::int32_t dl_trace = -1;
 
     struct RetxTb {
       ByteBuffer tb;
@@ -122,7 +92,7 @@ struct E2eSystem::Impl {
     }
   };
 
-  E2eConfig cfg;
+  StackConfig cfg;
   E2eSystem& owner;
   Simulator sim;
   Rng rng;
@@ -136,7 +106,26 @@ struct E2eSystem::Impl {
   RunningStats rlc_q_stats_us;
   std::uint64_t missed_grants = 0;
 
-  Impl(E2eConfig c, E2eSystem& own)
+  // -- Observability --------------------------------------------------------
+  // The tracer records spans iff enabled; every hook starts with one
+  // predicted branch. Metric handles are resolved once here and stay null
+  // when metrics are off, so the disabled path is a null-pointer check.
+  Tracer tracer;
+  MetricsRegistry metrics;
+  struct MetricHandles {
+    Counter* ul_sent = nullptr;
+    Counter* dl_sent = nullptr;
+    Counter* delivered = nullptr;
+    Counter* harq_retx = nullptr;
+    Counter* radio_miss = nullptr;
+    Counter* missed_grant = nullptr;
+    LatencyHistogram* ul_latency = nullptr;
+    LatencyHistogram* dl_latency = nullptr;
+    LatencyHistogram* rlc_q = nullptr;
+    std::array<LatencyHistogram*, 6> gnb_layer{};
+  } m;
+
+  Impl(StackConfig c, E2eSystem& own)
       : cfg(std::move(c)),
         owner(own),
         rng(cfg.seed),
@@ -156,6 +145,23 @@ struct E2eSystem::Impl {
     gnb.compute.proc.set_scale(1.0 + cfg.gnb_load_factor_per_ue *
                                          static_cast<double>(ues.size() - 1));
     if (cfg.blockage) blockage.emplace(*cfg.blockage, rng.fork());
+
+    tracer.enable(cfg.trace.spans_on());
+    if (cfg.trace.metrics_on()) {
+      m.ul_sent = &metrics.counter("packets.ul_sent");
+      m.dl_sent = &metrics.counter("packets.dl_sent");
+      m.delivered = &metrics.counter("packets.delivered");
+      m.harq_retx = &metrics.counter("packets.harq_retransmissions");
+      m.radio_miss = &metrics.counter("radio.deadline_misses");
+      m.missed_grant = &metrics.counter("mac.missed_grants");
+      m.ul_latency = &metrics.histogram("latency.ul_ns");
+      m.dl_latency = &metrics.histogram("latency.dl_ns");
+      m.rlc_q = &metrics.histogram("gnb.rlc_queue_wait_ns");
+      for (std::size_t i = 0; i < m.gnb_layer.size(); ++i) {
+        m.gnb_layer[i] = &metrics.histogram(
+            std::string("gnb.layer_ns.") + std::string(to_string(static_cast<Layer>(i))));
+      }
+    }
   }
 
   PacketRecord& rec(std::size_t idx) { return owner.records_[idx]; }
@@ -188,23 +194,33 @@ struct E2eSystem::Impl {
     });
   }
 
-  /// Traverse gNB layers, recording draws into the global Table 2 stats and
-  /// (when `ridx` is valid) the packet record.
+  /// Traverse gNB layers, recording draws into the global Table 2 stats,
+  /// (when `ridx` is valid) the packet record, and (when tracing) packet
+  /// `tseq`'s waterfall as Processing spans.
   template <typename Done>
   void gnb_traverse(std::initializer_list<Layer> layers, std::optional<std::size_t> ridx,
-                    Done done) {
+                    std::int32_t tseq, Done done) {
     traverse_layers(
         sim, gnb.compute.proc, layers,
-        [this, ridx](Layer l, Nanos dt) {
-          gnb_layer_stats[static_cast<std::size_t>(l)].add(dt.us());
-          if (ridx) rec(*ridx).gnb_layer_time[static_cast<std::size_t>(l)] += dt;
+        [this, ridx, tseq](Layer l, Nanos dt) {
+          const auto li = static_cast<std::size_t>(l);
+          gnb_layer_stats[li].add(dt.us());
+          if (m.gnb_layer[li]) m.gnb_layer[li]->record(dt);
+          if (ridx) rec(*ridx).gnb_layer_time[li] += dt;
+          tracer.span_for(tseq, kGnbLayerSpan[li], LatencyCategory::Processing, dt);
         },
         std::move(done));
   }
 
   template <typename Done>
-  void ue_traverse(UeCtx& ue, std::initializer_list<Layer> layers, Done done) {
-    traverse_layers(sim, ue.stack.compute.proc, layers, nullptr, std::move(done));
+  void ue_traverse(UeCtx& ue, std::initializer_list<Layer> layers, std::int32_t tseq, Done done) {
+    traverse_layers(
+        sim, ue.stack.compute.proc, layers,
+        [this, tseq](Layer l, Nanos dt) {
+          tracer.span_for(tseq, kUeLayerSpan[static_cast<std::size_t>(l)],
+                          LatencyCategory::Processing, dt);
+        },
+        std::move(done));
   }
 
   // =========================================================================
@@ -212,8 +228,13 @@ struct E2eSystem::Impl {
 
   void start_uplink(std::size_t ridx) {
     UeCtx& ue = *ues[static_cast<std::size_t>(rec(ridx).ue)];
+    if (tracer.enabled()) {
+      ue.ul_trace = rec(ridx).seq;
+      tracer.open(ue.ul_trace, sim.now());
+    }
+    if (m.ul_sent != nullptr) m.ul_sent->inc();
     // UE application creates the packet; APP down to RLC.
-    ue_traverse(ue, {Layer::APP, Layer::SDAP, Layer::PDCP, Layer::RLC},
+    ue_traverse(ue, {Layer::APP, Layer::SDAP, Layer::PDCP, Layer::RLC}, ue.ul_trace,
                 [this, ridx, &ue](Nanos end) {
                   const PacketRecord& r = rec(ridx);
                   ByteBuffer pkt = make_payload(r.seq, cfg.payload_bytes);
@@ -238,12 +259,16 @@ struct E2eSystem::Impl {
       ue.sr_pending = false;
       return;
     }
+    tracer.span_for(ue.ul_trace, "UE MAC SR staging", LatencyCategory::Processing, mac_delay);
+    tracer.span_to(ue.ul_trace, "wait for SR opportunity", LatencyCategory::Protocol, op->start);
+    tracer.span_to(ue.ul_trace, "SR over the air", LatencyCategory::Protocol, op->end);
     sim.schedule_at(op->end, [this, &ue] {
       // gNB side: radio delivery of the SR samples, then PHY decode.
       const Nanos rx = gnb.compute.radio.rx_delivery_latency(
           samples_of(gnb.compute.radio, cfg.duplex->numerology().symbol_duration()));
+      tracer.span_for(ue.ul_trace, "gNB radio RX chain", LatencyCategory::Radio, rx);
       sim.schedule_after(rx, [this, &ue] {
-        gnb_traverse({Layer::PHY}, std::nullopt, [this, &ue](Nanos aware) {
+        gnb_traverse({Layer::PHY}, std::nullopt, ue.ul_trace, [this, &ue](Nanos aware) {
           const auto plan = sched.plan_ul_grant(ue.id, aware);
           if (!plan) {
             ue.sr_pending = false;
@@ -257,16 +282,22 @@ struct E2eSystem::Impl {
 
   void deliver_grant(UeCtx& ue, const UlGrantPlan& plan) {
     const UlGrant grant = plan.grant;
+    tracer.span_to(ue.ul_trace, "gNB scheduler + wait for DL control", LatencyCategory::Protocol,
+                   plan.control.start);
+    tracer.span_to(ue.ul_trace, "UL grant over the air", LatencyCategory::Protocol,
+                   plan.control.end);
     sim.schedule_at(plan.control.end, [this, &ue, grant] {
       // UE decodes the DCI: radio + PHY + MAC.
       const Nanos rx = ue.stack.compute.radio.rx_delivery_latency(
           samples_of(ue.stack.compute.radio, cfg.duplex->numerology().symbol_duration()));
+      tracer.span_for(ue.ul_trace, "UE radio RX chain", LatencyCategory::Radio, rx);
       sim.schedule_after(rx, [this, &ue, grant] {
-        ue_traverse(ue, {Layer::PHY, Layer::MAC}, [this, &ue, grant](Nanos decoded) {
+        ue_traverse(ue, {Layer::PHY, Layer::MAC}, ue.ul_trace, [this, &ue, grant](Nanos decoded) {
           if (decoded > grant.tx_start) {
             // Missed the granted window (§4's interdependency hazard):
             // the scheduler re-grants from the moment the UE was ready.
             ++missed_grants;
+            if (m.missed_grant != nullptr) m.missed_grant->inc();
             const auto again = sched.plan_ul_grant(ue.id, decoded);
             if (again) {
               deliver_grant(ue, *again);
@@ -275,6 +306,8 @@ struct E2eSystem::Impl {
             }
             return;
           }
+          tracer.span_to(ue.ul_trace, "wait for granted UL window", LatencyCategory::Protocol,
+                         grant.tx_start);
           sim.schedule_at(grant.tx_start, [this, &ue, grant] { serve_ul_grant(ue, grant, 1); });
         });
       });
@@ -284,15 +317,18 @@ struct E2eSystem::Impl {
   void schedule_cg_service(UeCtx& ue) {
     if (ue.cg_scheduled) return;
     // UE staging lead before a configured occasion: PHY encode + radio.
-    const Nanos stage =
-        ue.stack.compute.phy.encode_time(static_cast<int>(cfg.cg.tb_bytes * 8)) +
-        ue.stack.compute.radio.nominal_tx_latency(
-            samples_of(ue.stack.compute.radio,
-                       cfg.duplex->numerology().symbol_duration() * cfg.cg.tx_symbols));
-    const auto occ = ue.cg.next_occasion(*cfg.duplex, sim.now() + stage);
+    const Nanos encode =
+        ue.stack.compute.phy.encode_time(static_cast<int>(cfg.cg.tb_bytes * 8));
+    const Nanos radio = ue.stack.compute.radio.nominal_tx_latency(
+        samples_of(ue.stack.compute.radio,
+                   cfg.duplex->numerology().symbol_duration() * cfg.cg.tx_symbols));
+    const auto occ = ue.cg.next_occasion(*cfg.duplex, sim.now() + encode + radio);
     if (!occ) return;
     ue.cg_scheduled = true;
     const UlGrant grant = *occ;
+    tracer.span_for(ue.ul_trace, "UE PHY encode", LatencyCategory::Processing, encode);
+    tracer.span_for(ue.ul_trace, "UE radio TX chain", LatencyCategory::Radio, radio);
+    tracer.span_to(ue.ul_trace, "wait for UL occasion", LatencyCategory::Protocol, grant.tx_start);
     sim.schedule_at(grant.tx_start, [this, &ue, grant] {
       ue.cg_scheduled = false;
       serve_ul_grant(ue, grant, 1);
@@ -333,15 +369,21 @@ struct E2eSystem::Impl {
     if (lost && attempt < cfg.harq_max_tx) {
       // NACK path: keep the TB, and after the feedback delay retransmit on
       // the next opportunity of the same access mode.
+      tracer.span_to(ue.ul_trace, "UL data over the air (lost)", LatencyCategory::Protocol,
+                     air_end);
+      tracer.span_to(ue.ul_trace, "HARQ feedback wait", LatencyCategory::Protocol,
+                     air_end + cfg.harq_feedback_delay);
       ue.retx_queue.push_back(UeCtx::RetxTb{std::move(tb), attempt + 1});
       sim.schedule_at(air_end + cfg.harq_feedback_delay, [this, &ue] { retransmit_ul(ue); });
       return;
     }
     if (lost) return;  // HARQ budget exhausted: the packet is gone
 
+    tracer.span_to(ue.ul_trace, "UL data over the air", LatencyCategory::Protocol, air_end);
     sim.schedule_at(air_end, [this, &ue, tb = std::move(tb), attempt]() mutable {
       const Nanos rx = gnb.compute.radio.rx_delivery_latency(
           samples_of(gnb.compute.radio, Nanos{100'000}));
+      tracer.span_for(ue.ul_trace, "gNB radio RX chain", LatencyCategory::Radio, rx);
       sim.schedule_after(rx, [this, &ue, tb = std::move(tb), attempt]() mutable {
         gnb_rx_ul(ue, std::move(tb), attempt);
       });
@@ -362,6 +404,8 @@ struct E2eSystem::Impl {
     }
     if (!opportunity) return;
     const UlGrant g = *opportunity;
+    tracer.span_to(ue.ul_trace, "wait for retransmission occasion", LatencyCategory::Protocol,
+                   g.tx_start);
     sim.schedule_at(g.tx_start, [this, &ue, g] { resend_ul_tb(ue, g); });
   }
 
@@ -371,6 +415,10 @@ struct E2eSystem::Impl {
     ue.retx_queue.pop_front();
     const bool lost = channel_lost();
     if (lost && entry.attempt < cfg.harq_max_tx) {
+      tracer.span_to(ue.ul_trace, "UL data over the air (lost)", LatencyCategory::Protocol,
+                     grant.tx_end);
+      tracer.span_to(ue.ul_trace, "HARQ feedback wait", LatencyCategory::Protocol,
+                     grant.tx_end + cfg.harq_feedback_delay);
       ++entry.attempt;
       ue.retx_queue.push_back(std::move(entry));
       sim.schedule_at(grant.tx_end + cfg.harq_feedback_delay, [this, &ue] { retransmit_ul(ue); });
@@ -378,9 +426,11 @@ struct E2eSystem::Impl {
     }
     if (lost) return;
     const int attempt = entry.attempt;
+    tracer.span_to(ue.ul_trace, "UL data over the air", LatencyCategory::Protocol, grant.tx_end);
     sim.schedule_at(grant.tx_end, [this, &ue, tb = std::move(entry.tb), attempt]() mutable {
       const Nanos rx = gnb.compute.radio.rx_delivery_latency(
           samples_of(gnb.compute.radio, Nanos{100'000}));
+      tracer.span_for(ue.ul_trace, "gNB radio RX chain", LatencyCategory::Radio, rx);
       sim.schedule_after(rx, [this, &ue, tb = std::move(tb), attempt]() mutable {
         gnb_rx_ul(ue, std::move(tb), attempt);
       });
@@ -390,7 +440,7 @@ struct E2eSystem::Impl {
   }
 
   void gnb_rx_ul(UeCtx& ue, ByteBuffer tb, int attempt) {
-    gnb_traverse({Layer::PHY, Layer::MAC}, std::nullopt,
+    gnb_traverse({Layer::PHY, Layer::MAC}, std::nullopt, ue.ul_trace,
                  [this, &ue, tb = std::move(tb), attempt](Nanos) mutable {
       auto subpdus = parse_mac_pdu(std::move(tb));
       if (!subpdus) return;
@@ -417,17 +467,19 @@ struct E2eSystem::Impl {
 
   void process_ul_rlc_pdu(UeCtx& ue, ByteBuffer&& pdu, int attempt) {
     const std::size_t chain = static_cast<std::size_t>(ue.index);
-    gnb.uplink(chain).rlc_rx.receive(std::move(pdu), [this, &ue, chain, attempt](ByteBuffer&& sdu) {
-      gnb_traverse({Layer::RLC, Layer::PDCP, Layer::SDAP}, std::nullopt,
-                   [this, &ue, chain, sdu = std::move(sdu), attempt](Nanos) mutable {
-                     const auto deliver = [this, &ue, attempt](ByteBuffer&& plain,
-                                                               std::uint32_t) {
-                       deliver_ul(ue, std::move(plain), attempt);
-                     };
-                     gnb.uplink(chain).pdcp_rx.receive(std::move(sdu), deliver);
-                     arm_pdcp_reordering(gnb.uplink(chain).pdcp_rx, ue.ul_reorder_armed, deliver);
-                   });
-    });
+    gnb.uplink(chain).rlc_rx.receive(
+        std::move(pdu), [this, &ue, chain, attempt](ByteBuffer&& sdu, const PacketMeta&) {
+          gnb_traverse({Layer::RLC, Layer::PDCP, Layer::SDAP}, std::nullopt, ue.ul_trace,
+                       [this, &ue, chain, sdu = std::move(sdu), attempt](Nanos) mutable {
+                         const auto deliver = [this, &ue, attempt](ByteBuffer&& plain,
+                                                                   const PacketMeta&) {
+                           deliver_ul(ue, std::move(plain), attempt);
+                         };
+                         gnb.uplink(chain).pdcp_rx.receive(std::move(sdu), deliver);
+                         arm_pdcp_reordering(gnb.uplink(chain).pdcp_rx, ue.ul_reorder_armed,
+                                             deliver);
+                       });
+        });
   }
 
   void deliver_ul(UeCtx& ue, ByteBuffer&& sdu, int attempt) {
@@ -442,6 +494,9 @@ struct E2eSystem::Impl {
       (void)gtpu_decapsulate(sdu);
       return read_seq(sdu);
     }();
+    tracer.span_for(seq, "core network (UPF + backhaul)", LatencyCategory::Protocol,
+                    upf.backhaul() + upf_latency);
+    if (ue.ul_trace == seq) ue.ul_trace = -1;
     sim.schedule_after(upf.backhaul() + upf_latency,
                        [this, seq, attempt] { finalize(seq, attempt); });
   }
@@ -453,8 +508,15 @@ struct E2eSystem::Impl {
     // Packet enters at the UPF from the data network.
     const PacketRecord& r = rec(ridx);
     UeCtx& ue = *ues[static_cast<std::size_t>(r.ue)];
+    if (tracer.enabled()) {
+      ue.dl_trace = r.seq;
+      tracer.open(ue.dl_trace, sim.now());
+    }
+    if (m.dl_sent != nullptr) m.dl_sent->inc();
     ByteBuffer pkt = make_payload(r.seq, cfg.payload_bytes);
     const Nanos upf_latency = upf.process_downlink(pkt, ue.teid());
+    tracer.span_for(ue.dl_trace, "core network (UPF + backhaul)", LatencyCategory::Protocol,
+                    upf_latency + upf.backhaul());
     sim.schedule_after(upf_latency + upf.backhaul(),
                        [this, pkt = std::move(pkt), ridx, &ue]() mutable {
                          gnb_dl_ingress(ue, std::move(pkt), ridx);
@@ -463,7 +525,7 @@ struct E2eSystem::Impl {
 
   void gnb_dl_ingress(UeCtx& ue, ByteBuffer pkt, std::size_t ridx) {
     if (!gtpu_decapsulate(pkt)) return;
-    gnb_traverse({Layer::SDAP, Layer::PDCP, Layer::RLC}, ridx,
+    gnb_traverse({Layer::SDAP, Layer::PDCP, Layer::RLC}, ridx, ue.dl_trace,
                  [this, &ue, pkt = std::move(pkt)](Nanos end) mutable {
                    const std::size_t chain = static_cast<std::size_t>(ue.index);
                    gnb.compute.sdap.encapsulate(pkt, kQfi);
@@ -503,6 +565,9 @@ struct E2eSystem::Impl {
     // per-slot scheduler to serve it.
     const Nanos q_wait = sim.now() - pulled->sdu_enqueued_at;
     rlc_q_stats_us.add(q_wait.us());
+    if (m.rlc_q != nullptr) m.rlc_q->record(q_wait);
+    tracer.span_to(ue.dl_trace, "RLC queue wait (slot scheduler)", LatencyCategory::Protocol,
+                   sim.now());
 
     MacSubPdus sub;
     sub.push_back(MacSubPdu{Lcid::Drb1, std::move(pulled->pdu)});
@@ -516,8 +581,12 @@ struct E2eSystem::Impl {
     // size-dependent encode cost is the deterministic pipeline part.
     const Nanos phy_draw = gnb.compute.proc.sample(Layer::PHY);
     gnb_layer_stats[static_cast<std::size_t>(Layer::PHY)].add(phy_draw.us());
+    if (m.gnb_layer[static_cast<std::size_t>(Layer::PHY)] != nullptr) {
+      m.gnb_layer[static_cast<std::size_t>(Layer::PHY)]->record(phy_draw);
+    }
     const Nanos encode =
         gnb.compute.phy.encode_time(static_cast<int>(a.tb_bytes * 8)) + phy_draw;
+    tracer.span_for(ue.dl_trace, "gNB PHY encode", LatencyCategory::Processing, encode);
     sim.schedule_after(encode, [this, &ue, a, attempt, tb = std::move(tb)]() mutable {
       const auto n_samples = samples_of(gnb.compute.radio, a.tx_end - a.tx_start);
       const TxPreparation prep = gnb.compute.radio.prepare_tx(sim.now(), n_samples, a.tx_start);
@@ -525,11 +594,15 @@ struct E2eSystem::Impl {
         // Samples missed the slot: corrupted signal (§4). Count it and treat
         // as a lost transmission — retransmit if budget remains.
         ++owner.radio_deadline_misses_;
+        if (m.radio_miss != nullptr) m.radio_miss->inc();
         if (attempt < cfg.harq_max_tx) {
           requeue_dl_tb(ue, std::move(tb), prep.ready_at, attempt + 1);
         }
         return;
       }
+      tracer.span_to(ue.dl_trace, "gNB radio TX chain", LatencyCategory::Radio,
+                     std::min(prep.ready_at, a.tx_start));
+      tracer.span_to(ue.dl_trace, "wait for DL slot", LatencyCategory::Protocol, a.tx_start);
       transmit_dl(ue, a, std::move(tb), attempt);
     });
   }
@@ -542,18 +615,25 @@ struct E2eSystem::Impl {
     const DlAssignment a = *plan;
     const Nanos pull_time = std::max(sim.now(), a.tx_start - sched.params().radio_lead);
     sim.schedule_at(pull_time, [this, &ue, a, attempt, tb = std::move(tb)]() mutable {
+      tracer.span_to(ue.dl_trace, "wait for re-planned DL slot", LatencyCategory::Protocol,
+                     sim.now());
       const Nanos encode = gnb.compute.phy.encode_time(static_cast<int>(a.tb_bytes * 8));
+      tracer.span_for(ue.dl_trace, "gNB PHY encode", LatencyCategory::Processing, encode);
       sim.schedule_after(encode, [this, &ue, a, attempt, tb = std::move(tb)]() mutable {
         const auto n_samples = samples_of(gnb.compute.radio, a.tx_end - a.tx_start);
         const TxPreparation prep =
             gnb.compute.radio.prepare_tx(sim.now(), n_samples, a.tx_start);
         if (!prep.on_time) {
           ++owner.radio_deadline_misses_;
+          if (m.radio_miss != nullptr) m.radio_miss->inc();
           if (attempt < cfg.harq_max_tx) {
             requeue_dl_tb(ue, std::move(tb), prep.ready_at, attempt + 1);
           }
           return;
         }
+        tracer.span_to(ue.dl_trace, "gNB radio TX chain", LatencyCategory::Radio,
+                       std::min(prep.ready_at, a.tx_start));
+        tracer.span_to(ue.dl_trace, "wait for DL slot", LatencyCategory::Protocol, a.tx_start);
         transmit_dl(ue, a, std::move(tb), attempt);
       });
     });
@@ -563,6 +643,10 @@ struct E2eSystem::Impl {
     const bool lost = channel_lost();
     if (lost) {
       if (attempt < cfg.harq_max_tx) {
+        tracer.span_to(ue.dl_trace, "DL data over the air (lost)", LatencyCategory::Protocol,
+                       a.tx_end);
+        tracer.span_to(ue.dl_trace, "HARQ feedback wait", LatencyCategory::Protocol,
+                       a.tx_end + cfg.harq_feedback_delay);
         sim.schedule_at(a.tx_end + cfg.harq_feedback_delay,
                         [this, &ue, tb = std::move(tb), attempt]() mutable {
                           requeue_dl_tb(ue, std::move(tb), sim.now(), attempt + 1);
@@ -570,9 +654,11 @@ struct E2eSystem::Impl {
       }
       return;
     }
+    tracer.span_to(ue.dl_trace, "DL data over the air", LatencyCategory::Protocol, a.tx_end);
     sim.schedule_at(a.tx_end, [this, &ue, a, tb = std::move(tb), attempt]() mutable {
       const Nanos rx = ue.stack.compute.radio.rx_delivery_latency(
           samples_of(ue.stack.compute.radio, a.tx_end - a.tx_start));
+      tracer.span_for(ue.dl_trace, "UE radio RX chain", LatencyCategory::Radio, rx);
       sim.schedule_after(rx, [this, &ue, tb = std::move(tb), attempt]() mutable {
         ue_rx_dl(ue, std::move(tb), attempt);
       });
@@ -580,19 +666,22 @@ struct E2eSystem::Impl {
   }
 
   void ue_rx_dl(UeCtx& ue, ByteBuffer tb, int attempt) {
-    ue_traverse(ue, {Layer::PHY, Layer::MAC}, [this, &ue, tb = std::move(tb), attempt](Nanos) mutable {
+    ue_traverse(ue, {Layer::PHY, Layer::MAC}, ue.dl_trace,
+                [this, &ue, tb = std::move(tb), attempt](Nanos) mutable {
       auto subpdus = parse_mac_pdu(std::move(tb));
       if (!subpdus) return;
       for (MacSubPdu& sp : *subpdus) {
         if (sp.lcid != Lcid::Drb1) continue;
         ue.stack.downlink().rlc_rx.receive(
-            std::move(sp.payload), [this, &ue, attempt](ByteBuffer&& sdu) {
-              ue_traverse(ue, {Layer::RLC, Layer::PDCP, Layer::SDAP, Layer::APP},
+            std::move(sp.payload), [this, &ue, attempt](ByteBuffer&& sdu, const PacketMeta&) {
+              ue_traverse(ue, {Layer::RLC, Layer::PDCP, Layer::SDAP, Layer::APP}, ue.dl_trace,
                           [this, &ue, sdu = std::move(sdu), attempt](Nanos) mutable {
                             const auto deliver =
-                                [this, &ue, attempt](ByteBuffer&& plain, std::uint32_t) {
+                                [this, &ue, attempt](ByteBuffer&& plain, const PacketMeta&) {
                                   (void)ue.stack.compute.sdap.decapsulate(plain);
-                                  finalize(read_seq(plain), attempt);
+                                  const int seq = read_seq(plain);
+                                  if (ue.dl_trace == seq) ue.dl_trace = -1;
+                                  finalize(seq, attempt);
                                 };
                             ue.stack.downlink().pdcp_rx.receive(std::move(sdu), deliver);
                             arm_pdcp_reordering(ue.stack.downlink().pdcp_rx,
@@ -612,12 +701,18 @@ struct E2eSystem::Impl {
     r.delivered = sim.now();
     r.ok = true;
     r.harq_transmissions = attempt;
+    tracer.close(seq, sim.now());
+    if (m.delivered != nullptr) {
+      m.delivered->inc();
+      if (attempt > 1) m.harq_retx->inc(static_cast<std::uint64_t>(attempt - 1));
+      (r.dir == Direction::Uplink ? m.ul_latency : m.dl_latency)->record(r.latency());
+    }
   }
 };
 
 // ===========================================================================
 
-E2eSystem::E2eSystem(E2eConfig cfg) {
+E2eSystem::E2eSystem(StackConfig cfg) {
   if (!cfg.duplex) throw std::invalid_argument{"E2eSystem: duplex config required"};
   impl_ = std::make_unique<Impl>(std::move(cfg), *this);
 }
@@ -625,6 +720,11 @@ E2eSystem::E2eSystem(E2eConfig cfg) {
 E2eSystem::~E2eSystem() = default;
 
 Simulator& E2eSystem::simulator() { return impl_->sim; }
+
+Tracer& E2eSystem::tracer() { return impl_->tracer; }
+const Tracer& E2eSystem::tracer() const { return impl_->tracer; }
+MetricsRegistry& E2eSystem::metrics() { return impl_->metrics; }
+const MetricsRegistry& E2eSystem::metrics() const { return impl_->metrics; }
 
 void E2eSystem::send_uplink_at(Nanos at, int ue) {
   if (ue < 0 || static_cast<std::size_t>(ue) >= impl_->ues.size())

@@ -10,22 +10,16 @@
 
 #include <array>
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <optional>
 #include <vector>
 
-#include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/time.hpp"
-#include "corenet/upf.hpp"
-#include "phy/channel.hpp"
-#include "mac/configured_grant.hpp"
-#include "mac/sched_request.hpp"
-#include "mac/scheduler.hpp"
+#include "core/stack_config.hpp"
 #include "node/stack.hpp"
 #include "sim/simulator.hpp"
-#include "tdd/duplex_config.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
 
 namespace u5g {
 
@@ -34,49 +28,6 @@ enum class Direction { Uplink, Downlink };
 [[nodiscard]] constexpr const char* to_string(Direction d) {
   return d == Direction::Uplink ? "UL" : "DL";
 }
-
-/// Full configuration of a run.
-struct E2eConfig {
-  std::shared_ptr<const DuplexConfig> duplex;   ///< required
-  bool grant_free = false;                      ///< UL access mode
-  SrConfig sr{};                                ///< grant-based SR opportunities
-  ConfiguredGrantConfig cg{};                   ///< grant-free occasions (UE 0; others staggered)
-  SchedulerParams sched{};
-  /// Number of attached UEs (§9 scalability). Grant-free occasions are
-  /// staggered per UE; the gNB's processing times grow with load per the
-  /// §7 observation via `gnb_load_factor_per_ue`.
-  int num_ues = 1;
-  double gnb_load_factor_per_ue = 0.08;  ///< gNB proc scale = 1 + f*(num_ues-1)
-  ProcessingProfile gnb_proc = ProcessingProfile::gnb_i7();
-  ProcessingProfile ue_proc = ProcessingProfile::ue_modem();
-  RadioHeadParams gnb_radio = RadioHeadParams::usrp_b210_usb2();
-  RadioHeadParams ue_radio = RadioHeadParams::pcie_sdr();  ///< modem: ASIC radio path
-  PhyTimingParams phy = PhyTimingParams::software_i7();
-  UpfParams upf = UpfParams::dedicated_urllc();
-  RlcMode rlc_mode = RlcMode::UM;
-  double channel_loss = 0.0;      ///< per-transmission loss probability
-  /// PDCP t-Reordering: bound on how long the receiver holds out-of-order
-  /// PDUs waiting for a missing COUNT before flushing past the gap.
-  Nanos pdcp_t_reordering{5'000'000};
-  /// Optional FR2 line-of-sight blockage process (§1/§5's mmWave
-  /// reliability problem): while blocked, transmissions are lost with the
-  /// process's loss probability, on top of `channel_loss`.
-  std::optional<MmWaveBlockage::Params> blockage{};
-  Nanos harq_feedback_delay{};    ///< loss detection -> retransmission planning
-  int harq_max_tx = 4;
-  std::size_t payload_bytes = 64;   ///< ICMP-echo-sized
-  std::size_t dl_tb_slack = 64;     ///< TB headroom over the PDU
-  std::uint64_t seed = 1;
-
-  /// The §7 testbed: n78, µ1 (0.5 ms slots), DDDU, USB B210, per-slot SR,
-  /// one-slot scheduler lead ("the transmission must always be delayed for
-  /// one slot to give enough time to the RH").
-  static E2eConfig testbed(bool grant_free, std::uint64_t seed = 1);
-
-  /// The §5 viable design: µ2 DM pattern, grant-free, PCIe radio, RT kernel,
-  /// tight margin — the configuration the paper argues can meet URLLC.
-  static E2eConfig urllc_design(std::uint64_t seed = 1);
-};
 
 /// Everything measured about one packet.
 struct PacketRecord {
@@ -98,7 +49,7 @@ struct PacketRecord {
 /// The running system.
 class E2eSystem {
  public:
-  explicit E2eSystem(E2eConfig cfg);
+  explicit E2eSystem(StackConfig cfg);
   ~E2eSystem();
   E2eSystem(const E2eSystem&) = delete;
   E2eSystem& operator=(const E2eSystem&) = delete;
@@ -113,6 +64,16 @@ class E2eSystem {
 
   [[nodiscard]] const std::vector<PacketRecord>& records() const { return records_; }
   [[nodiscard]] Simulator& simulator();
+
+  // -- Observability --------------------------------------------------------
+
+  /// Per-packet span tracer (recording iff `StackConfig::trace.spans_on()`).
+  [[nodiscard]] Tracer& tracer();
+  [[nodiscard]] const Tracer& tracer() const;
+  /// Counters + latency histograms (live iff `trace.metrics_on()`);
+  /// mergeable across replications.
+  [[nodiscard]] MetricsRegistry& metrics();
+  [[nodiscard]] const MetricsRegistry& metrics() const;
 
   // -- Aggregations ---------------------------------------------------------
 

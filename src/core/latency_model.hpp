@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "common/taxonomy.hpp"
 #include "common/time.hpp"
 #include "tdd/opportunity.hpp"
 
@@ -36,17 +37,6 @@ enum class AccessMode { GrantBasedUl, GrantFreeUl, Downlink };
     case AccessMode::GrantBasedUl: return "Grant-Based UL";
     case AccessMode::GrantFreeUl: return "Grant-Free UL";
     case AccessMode::Downlink: return "DL";
-  }
-  return "?";
-}
-
-enum class LatencyCategory { Protocol, Processing, Radio };
-
-[[nodiscard]] constexpr const char* to_string(LatencyCategory c) {
-  switch (c) {
-    case LatencyCategory::Protocol: return "protocol";
-    case LatencyCategory::Processing: return "processing";
-    case LatencyCategory::Radio: return "radio";
   }
   return "?";
 }

@@ -1,0 +1,67 @@
+#include "core/stack_config.hpp"
+
+#include "tdd/common_config.hpp"
+
+namespace u5g {
+
+namespace {
+
+StackConfig testbed_base(std::uint64_t seed) {
+  StackConfig c;
+  c.duplex = std::make_shared<TddCommonConfig>(TddCommonConfig::dddu(kMu1));
+  c.sr = SrConfig::per_slot(kMu1);
+  c.cg = ConfiguredGrantConfig::periodic(kMu1.slot_duration(), 256, 4);
+  c.sched.radio_lead = kMu1.slot_duration();  // §7: delay one slot for the RH
+  c.sched.margin = Nanos{100'000};
+  c.sched.ue_min_prep = Nanos{300'000};
+  c.sched.ul_tx_symbols = 4;
+  c.sched.ul_tb_bytes = 256;
+  c.gnb_radio = RadioHeadParams::usrp_b210_usb2();
+  c.ue_radio = RadioHeadParams::pcie_sdr();
+  c.harq_feedback_delay = kMu1.slot_duration();
+  c.seed = seed;
+  return c;
+}
+
+}  // namespace
+
+StackConfig StackConfig::testbed_grant_based(std::uint64_t seed) {
+  StackConfig c = testbed_base(seed);
+  c.grant_free = false;
+  return c;
+}
+
+StackConfig StackConfig::testbed_grant_free(std::uint64_t seed) {
+  StackConfig c = testbed_base(seed);
+  c.grant_free = true;
+  return c;
+}
+
+StackConfig StackConfig::urllc_design(std::uint64_t seed) {
+  StackConfig c;
+  c.duplex = std::make_shared<TddCommonConfig>(TddCommonConfig::dm(kMu2));
+  c.grant_free = true;
+  c.cg = ConfiguredGrantConfig::every_symbol(256, 2);
+  // The staging lead must cover PHY encode (incl. the Table 2 draw's tail),
+  // the PCIe submission and the DAC chain — §4's interdependency, tuned.
+  c.sched.radio_lead = Nanos{150'000};
+  c.sched.margin = Nanos{50'000};
+  c.sched.ue_min_prep = Nanos{100'000};
+  c.sched.ul_tx_symbols = 2;
+  c.sched.ul_tb_bytes = 256;
+  c.gnb_radio = RadioHeadParams::pcie_sdr();
+  c.gnb_radio.bus = c.gnb_radio.bus.with_rt_kernel();
+  c.ue_radio = RadioHeadParams::pcie_sdr();
+  c.ue_radio.bus = c.ue_radio.bus.with_rt_kernel();
+  c.gnb_proc = ProcessingProfile::gnb_i7();
+  c.ue_proc = ProcessingProfile::gnb_i7();  // software UE, not a modem black box
+  c.harq_feedback_delay = kMu2.slot_duration();
+  c.seed = seed;
+  return c;
+}
+
+StackConfig StackConfig::testbed(bool grant_free, std::uint64_t seed) {
+  return grant_free ? testbed_grant_free(seed) : testbed_grant_based(seed);
+}
+
+}  // namespace u5g

@@ -1,0 +1,88 @@
+#pragma once
+// StackConfig: the one aggregate configuration surface for a simulated
+// end-to-end stack — duplexing, access mode, per-layer sub-configs
+// (scheduler, SR, configured grants, processing/radio/PHY profiles, UPF,
+// RLC/PDCP knobs, channel), and the TraceConfig controlling the
+// observability subsystem. Benches, examples and tests all construct
+// systems through the named presets below; there are no boolean-trap
+// factories on this surface.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "corenet/upf.hpp"
+#include "mac/configured_grant.hpp"
+#include "mac/sched_request.hpp"
+#include "mac/scheduler.hpp"
+#include "os/proc_time.hpp"
+#include "phy/channel.hpp"
+#include "phy/phy_timing.hpp"
+#include "radio/radio_head.hpp"
+#include "rlc/rlc_entity.hpp"
+#include "tdd/duplex_config.hpp"
+#include "trace/trace.hpp"
+
+namespace u5g {
+
+/// Full configuration of a run.
+struct StackConfig {
+  std::shared_ptr<const DuplexConfig> duplex;   ///< required
+  bool grant_free = false;                      ///< UL access mode
+  SrConfig sr{};                                ///< grant-based SR opportunities
+  ConfiguredGrantConfig cg{};                   ///< grant-free occasions (UE 0; others staggered)
+  SchedulerParams sched{};
+  /// Number of attached UEs (§9 scalability). Grant-free occasions are
+  /// staggered per UE; the gNB's processing times grow with load per the
+  /// §7 observation via `gnb_load_factor_per_ue`.
+  int num_ues = 1;
+  double gnb_load_factor_per_ue = 0.08;  ///< gNB proc scale = 1 + f*(num_ues-1)
+  ProcessingProfile gnb_proc = ProcessingProfile::gnb_i7();
+  ProcessingProfile ue_proc = ProcessingProfile::ue_modem();
+  RadioHeadParams gnb_radio = RadioHeadParams::usrp_b210_usb2();
+  RadioHeadParams ue_radio = RadioHeadParams::pcie_sdr();  ///< modem: ASIC radio path
+  PhyTimingParams phy = PhyTimingParams::software_i7();
+  UpfParams upf = UpfParams::dedicated_urllc();
+  RlcMode rlc_mode = RlcMode::UM;
+  double channel_loss = 0.0;      ///< per-transmission loss probability
+  /// PDCP t-Reordering: bound on how long the receiver holds out-of-order
+  /// PDUs waiting for a missing COUNT before flushing past the gap.
+  Nanos pdcp_t_reordering{5'000'000};
+  /// Optional FR2 line-of-sight blockage process (§1/§5's mmWave
+  /// reliability problem): while blocked, transmissions are lost with the
+  /// process's loss probability, on top of `channel_loss`.
+  std::optional<MmWaveBlockage::Params> blockage{};
+  Nanos harq_feedback_delay{};    ///< loss detection -> retransmission planning
+  int harq_max_tx = 4;
+  std::size_t payload_bytes = 64;   ///< ICMP-echo-sized
+  std::size_t dl_tb_slack = 64;     ///< TB headroom over the PDU
+  std::uint64_t seed = 1;
+  /// Observability: per-packet spans + metrics (off by default — one dead
+  /// branch per hook on the warm path).
+  TraceConfig trace{};
+
+  // -- Named presets ---------------------------------------------------------
+
+  /// The §7 testbed with the SR-grant handshake: n78, µ1 (0.5 ms slots),
+  /// DDDU, USB B210, per-slot SR, one-slot scheduler lead ("the transmission
+  /// must always be delayed for one slot to give enough time to the RH").
+  static StackConfig testbed_grant_based(std::uint64_t seed = 1);
+
+  /// The §7 testbed with grant-free (configured-grant) uplink — Fig 6b.
+  static StackConfig testbed_grant_free(std::uint64_t seed = 1);
+
+  /// The §5 viable design: µ2 DM pattern, grant-free, PCIe radio, RT kernel,
+  /// tight margin — the configuration the paper argues can meet URLLC.
+  static StackConfig urllc_design(std::uint64_t seed = 1);
+
+  // -- Deprecated spellings --------------------------------------------------
+
+  /// Boolean-trap factory kept as a thin forwarder.
+  [[deprecated("use StackConfig::testbed_grant_based / testbed_grant_free")]]
+  static StackConfig testbed(bool grant_free, std::uint64_t seed = 1);
+};
+
+/// Historic name of the aggregate config, kept as an alias.
+using E2eConfig = StackConfig;
+
+}  // namespace u5g

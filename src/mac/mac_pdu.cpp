@@ -29,6 +29,22 @@ ByteBuffer build_mac_pdu(std::span<const MacSubPdu> subpdus, std::size_t tb_byte
   return tb;
 }
 
+bool parse_mac_pdu_to(ByteBuffer&& tb, DeliveryFn deliver) {
+  while (!tb.empty()) {
+    const auto lcid = tb.pop_header(1)[0];
+    if (static_cast<Lcid>(lcid) == Lcid::Padding) break;
+    if (tb.size() < 2) return false;
+    const auto lb = tb.pop_header(2);
+    const std::size_t len = (static_cast<std::size_t>(lb[0]) << 8) | lb[1];
+    if (tb.size() < len) return false;
+    const auto body = tb.pop_header(len);
+    PacketMeta meta;
+    meta.lcid = lcid;
+    deliver(ByteBuffer::from_bytes(body), meta);
+  }
+  return true;
+}
+
 std::optional<MacSubPdus> parse_mac_pdu(ByteBuffer&& tb) {
   MacSubPdus out;
   while (!tb.empty()) {

@@ -8,6 +8,7 @@
 #include <span>
 
 #include "common/bytes.hpp"
+#include "common/delivery.hpp"
 #include "common/small_vec.hpp"
 
 namespace u5g {
@@ -37,6 +38,12 @@ using MacSubPdus = SmallVec<MacSubPdu, 4>;
 /// Parse a transport block back into subPDUs (padding stripped).
 /// Returns nullopt on malformed input.
 [[nodiscard]] std::optional<MacSubPdus> parse_mac_pdu(ByteBuffer&& tb);
+
+/// Streaming form on the unified delivery surface: invokes `deliver` once
+/// per subPDU (padding stripped) with `PacketMeta::lcid` set, building no
+/// intermediate list. Returns false on malformed input (deliveries already
+/// made stand).
+bool parse_mac_pdu_to(ByteBuffer&& tb, DeliveryFn deliver);
 
 /// Overhead per subPDU: 1 byte LCID + 2 bytes length.
 inline constexpr std::size_t kMacSubheaderBytes = 3;

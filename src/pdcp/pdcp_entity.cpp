@@ -79,14 +79,18 @@ bool PdcpRx::receive(ByteBuffer&& pdu, Deliver deliver) {
     // In-order fast path (the loss-free steady state): deliver directly,
     // never touching the reordering map — no node allocation per packet.
     ++expected_;
-    deliver(std::move(pdu), count);
+    PacketMeta meta;
+    meta.count = count;
+    deliver(std::move(pdu), meta);
     return true;
   }
 
   held_.emplace(count, std::move(pdu));
   // Deliver the in-order run starting at expected_.
   for (auto it = held_.begin(); it != held_.end() && it->first == expected_;) {
-    deliver(std::move(it->second), it->first);
+    PacketMeta meta;
+    meta.count = it->first;
+    deliver(std::move(it->second), meta);
     it = held_.erase(it);
     ++expected_;
   }
@@ -95,7 +99,9 @@ bool PdcpRx::receive(ByteBuffer&& pdu, Deliver deliver) {
 
 void PdcpRx::flush(Deliver deliver) {
   for (auto& [count, buf] : held_) {
-    deliver(std::move(buf), count);
+    PacketMeta meta;
+    meta.count = count;
+    deliver(std::move(buf), meta);
     expected_ = count + 1;
   }
   held_.clear();

@@ -12,7 +12,7 @@
 #include <optional>
 
 #include "common/bytes.hpp"
-#include "common/function_ref.hpp"
+#include "common/delivery.hpp"
 #include "pdcp/cipher.hpp"
 
 namespace u5g {
@@ -47,9 +47,10 @@ class PdcpTx {
 /// Receive-side PDCP: deciphers, verifies, reorders, delivers in order.
 class PdcpRx {
  public:
-  /// Callback receives each SDU exactly once, in COUNT order. Non-owning:
-  /// invoked synchronously before receive()/flush() return.
-  using Deliver = FunctionRef<void(ByteBuffer&&, std::uint32_t count)>;
+  /// Callback receives each SDU exactly once, in COUNT order, with
+  /// `PacketMeta::count` set. Non-owning: invoked synchronously before
+  /// receive()/flush() return.
+  using Deliver = DeliveryFn;
 
   explicit PdcpRx(PdcpConfig cfg = {}) : cfg_(cfg) {}
 

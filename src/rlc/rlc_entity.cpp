@@ -141,7 +141,9 @@ std::optional<RlcHeader> RlcRx::receive(ByteBuffer&& pdu, Deliver deliver) {
 
   if (h->si == SegmentInfo::Complete) {
     if (mode_ == RlcMode::AM) received_[h->sn] = true;
-    deliver(std::move(pdu));
+    PacketMeta meta;
+    meta.sn = h->sn;
+    deliver(std::move(pdu), meta);
     return h;
   }
 
@@ -183,7 +185,9 @@ void RlcRx::try_reassemble(std::uint16_t sn, Deliver deliver) {
   }
   partial_.erase(it);
   if (mode_ == RlcMode::AM) received_[sn] = true;
-  deliver(std::move(sdu));
+  PacketMeta meta;
+  meta.sn = sn;
+  deliver(std::move(sdu), meta);
 }
 
 RlcRx::Status RlcRx::build_status() const {

@@ -16,7 +16,7 @@
 #include <vector>
 
 #include "common/bytes.hpp"
-#include "common/function_ref.hpp"
+#include "common/delivery.hpp"
 #include "common/ring.hpp"
 #include "common/time.hpp"
 #include "rlc/rlc_pdu.hpp"
@@ -94,8 +94,9 @@ class RlcTx {
 /// Receive-side RLC: reassembles segments, delivers SDUs.
 class RlcRx {
  public:
-  /// Non-owning delivery callback, invoked synchronously inside receive().
-  using Deliver = FunctionRef<void(ByteBuffer&&)>;
+  /// Non-owning delivery callback, invoked synchronously inside receive()
+  /// with `PacketMeta::sn` set to the SDU's sequence number.
+  using Deliver = DeliveryFn;
 
   explicit RlcRx(RlcMode mode) : mode_(mode) {}
 

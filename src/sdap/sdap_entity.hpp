@@ -10,6 +10,7 @@
 #include <unordered_map>
 
 #include "common/bytes.hpp"
+#include "common/delivery.hpp"
 #include "common/ids.hpp"
 #include "sdap/qos.hpp"
 
@@ -53,6 +54,14 @@ class SdapEntity {
   std::uint8_t decapsulate(ByteBuffer& pdu) const {
     const auto h = pdu.pop_header(1);
     return SdapHeader::decode(h[0]).qfi;
+  }
+
+  /// Strip the SDAP header and hand the SDU upward on the unified delivery
+  /// surface, with `PacketMeta::qfi` set.
+  void decapsulate_to(ByteBuffer&& pdu, DeliveryFn deliver) const {
+    PacketMeta meta;
+    meta.qfi = decapsulate(pdu);
+    deliver(std::move(pdu), meta);
   }
 
   [[nodiscard]] std::size_t flow_count() const { return flows_.size(); }

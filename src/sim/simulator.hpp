@@ -101,6 +101,9 @@ class Simulator {
 
   [[nodiscard]] std::size_t pending_events() const { return live_; }
   [[nodiscard]] bool idle() const { return live_ == 0; }
+  /// Events fired over the simulator's lifetime — an always-on kernel stat
+  /// benches export into the metrics registry.
+  [[nodiscard]] std::uint64_t events_fired() const { return fired_; }
 
  private:
   struct Slot {
@@ -136,12 +139,14 @@ class Simulator {
     if (tombstoned) return false;
     --live_;
     now_ = e.when;
+    ++fired_;
     action();  // may schedule new events; the slot was already released
     return true;
   }
 
   Nanos now_ = Nanos::zero();
   std::uint64_t next_seq_ = 0;
+  std::uint64_t fired_ = 0;
   std::size_t live_ = 0;
   std::priority_queue<QueueEntry, std::vector<QueueEntry>, Later> queue_;
   std::vector<Slot> slots_;

@@ -1,0 +1,62 @@
+#include "trace/chrome_trace.hpp"
+
+#include <cstdio>
+#include <set>
+
+namespace u5g {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') out.push_back('\\');
+    out.push_back(ch);
+  }
+}
+
+void append_us(std::string& out, Nanos t) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", t.us());
+  out += buf;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(std::span<const TraceSpan> spans, std::string_view process_name) {
+  std::string out = "{\"traceEvents\":[\n";
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{\"name\":\"";
+  append_escaped(out, process_name);
+  out += "\"}}";
+
+  std::set<std::int32_t> seqs;
+  for (const TraceSpan& s : spans) seqs.insert(s.seq);
+  for (std::int32_t seq : seqs) {
+    out += ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" + std::to_string(seq);
+    out += ",\"args\":{\"name\":\"packet " + std::to_string(seq) + "\"}}";
+  }
+
+  for (const TraceSpan& s : spans) {
+    out += ",\n{\"name\":\"";
+    append_escaped(out, s.name);
+    out += "\",\"cat\":\"";
+    append_escaped(out, to_string(s.category));
+    out += "\",\"ph\":\"X\",\"ts\":";
+    append_us(out, s.start);
+    out += ",\"dur\":";
+    append_us(out, s.duration());
+    out += ",\"pid\":0,\"tid\":" + std::to_string(s.seq) + "}";
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path, std::span<const TraceSpan> spans,
+                        std::string_view process_name) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string body = chrome_trace_json(spans, process_name);
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace u5g

@@ -1,0 +1,23 @@
+#pragma once
+// Chrome trace_event export: renders TraceSpans as the JSON Object Format
+// consumed by chrome://tracing and Perfetto. Each traced packet becomes a
+// "thread" (tid = packet seq) so its spans line up as one waterfall row;
+// complete events ("ph":"X") carry microsecond timestamps/durations and the
+// LatencyCategory as the event category.
+
+#include <span>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace u5g {
+
+/// Serialise spans to a chrome://tracing JSON document.
+[[nodiscard]] std::string chrome_trace_json(std::span<const TraceSpan> spans,
+                                            std::string_view process_name = "u5g");
+
+/// Write chrome_trace_json(spans) to `path`. Returns false on I/O failure.
+bool write_chrome_trace(const std::string& path, std::span<const TraceSpan> spans,
+                        std::string_view process_name = "u5g");
+
+}  // namespace u5g

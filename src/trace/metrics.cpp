@@ -1,0 +1,101 @@
+#include "trace/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace u5g {
+
+std::int64_t LatencyHistogram::quantile(double q) const {
+  if (n_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  auto rank = static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(n_)));
+  if (rank == 0) rank = 1;
+  std::uint64_t cum = 0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    cum += bins_[static_cast<std::size_t>(i)];
+    if (cum >= rank) {
+      // Upper bound of bucket i, clamped to the observed maximum.
+      const std::int64_t hi = (i + 1 < kBucketCount) ? bucket_lower(i + 1) - 1
+                                                     : std::numeric_limits<std::int64_t>::max();
+      return hi < max_ ? hi : max_;
+    }
+  }
+  return max_;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& o) {
+  for (int i = 0; i < kBucketCount; ++i) bins_[static_cast<std::size_t>(i)] += o.bins_[static_cast<std::size_t>(i)];
+  n_ += o.n_;
+  sum_ += o.sum_;
+  if (o.n_ != 0) {
+    if (o.min_ < min_) min_ = o.min_;
+    if (o.max_ > max_) max_ = o.max_;
+  }
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& o) {
+  for (const auto& [name, c] : o.counters_) counters_[name].merge(c);
+  for (const auto& [name, h] : o.histograms_) histograms_[name].merge(h);
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') out.push_back('\\');
+    out.push_back(ch);
+  }
+}
+
+void append_f(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_json() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    append_escaped(out, name);
+    out += "\": " + std::to_string(c.value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    append_escaped(out, name);
+    out += "\": {\"count\": " + std::to_string(h.count());
+    out += ", \"min_ns\": " + std::to_string(h.min());
+    out += ", \"max_ns\": " + std::to_string(h.max());
+    out += ", \"mean_ns\": ";
+    append_f(out, h.mean());
+    out += ", \"p50_ns\": " + std::to_string(h.quantile(0.50));
+    out += ", \"p90_ns\": " + std::to_string(h.quantile(0.90));
+    out += ", \"p99_ns\": " + std::to_string(h.quantile(0.99));
+    out += ", \"p999_ns\": " + std::to_string(h.quantile(0.999));
+    out += "}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+bool MetricsRegistry::write_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string body = to_json();
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace u5g

@@ -1,0 +1,121 @@
+#pragma once
+// Aggregated metrics: counters and HDR-style latency histograms, with the
+// same merge contract as common/stats.hpp so per-replication registries from
+// the PR-1 thread pool combine into one run-level registry.
+//
+// LatencyHistogram is a fixed-size log2-bucketed histogram (4 sub-bucket
+// bits per octave -> relative quantile error bounded by 1/16 = 6.25%) over
+// the full non-negative int64 nanosecond range. `record` is a shift, a mask
+// and an increment into a flat array — no allocation, ever — which is what
+// lets an enabled-metrics hot path stay on the pooled datapath. Registries
+// hand out stable pointers (std::map nodes), so integration code caches
+// `Counter*`/`LatencyHistogram*` once and pays a null-check branch when
+// metrics are off.
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+
+#include "common/time.hpp"
+
+namespace u5g {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_ += n; }
+  void set(std::uint64_t v) { v_ = v; }
+  [[nodiscard]] std::uint64_t value() const { return v_; }
+  void merge(const Counter& o) { v_ += o.v_; }
+
+ private:
+  std::uint64_t v_ = 0;
+};
+
+/// Fixed-memory latency histogram with bounded relative error.
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBits = 4;             ///< sub-buckets per octave = 16
+  static constexpr int kSubCount = 1 << kSubBits;
+  /// Linear region [0, 16) + one 16-wide row per octave up to 2^63.
+  static constexpr int kBucketCount = (64 - kSubBits) * kSubCount;
+
+  void record(std::int64_t ns) {
+    ++bins_[bucket_index(ns)];
+    ++n_;
+    sum_ += ns;
+    if (ns < min_) min_ = ns;
+    if (ns > max_) max_ = ns;
+  }
+  void record(Nanos t) { record(t.count()); }
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] std::int64_t min() const { return n_ ? min_ : 0; }
+  [[nodiscard]] std::int64_t max() const { return n_ ? max_ : 0; }
+  [[nodiscard]] double mean() const { return n_ ? static_cast<double>(sum_) / static_cast<double>(n_) : 0.0; }
+
+  /// Value at quantile `q` in [0, 1] (nearest-rank over buckets; returns the
+  /// bucket's upper bound, so the result is >= the true quantile and within
+  /// a 1/16 relative factor of it). 0 when empty.
+  [[nodiscard]] std::int64_t quantile(double q) const;
+
+  void merge(const LatencyHistogram& o);
+
+  /// Lowest value mapping to bucket `idx` (for export / tests).
+  [[nodiscard]] static std::int64_t bucket_lower(int idx) {
+    if (idx < kSubCount) return idx;
+    const int shift = idx / kSubCount - 1;
+    const int sub = idx % kSubCount;
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(kSubCount + sub) << shift);
+  }
+
+  [[nodiscard]] static int bucket_index(std::int64_t v) {
+    if (v < 0) v = 0;
+    const auto u = static_cast<std::uint64_t>(v);
+    if (u < kSubCount) return static_cast<int>(u);
+    const int msb = 63 - std::countl_zero(u);
+    const int shift = msb - kSubBits;
+    const int sub = static_cast<int>((u >> shift) & (kSubCount - 1));
+    return (shift + 1) * kSubCount + sub;
+  }
+
+  [[nodiscard]] std::uint64_t bucket_count(int idx) const { return bins_[static_cast<std::size_t>(idx)]; }
+
+ private:
+  std::array<std::uint64_t, kBucketCount> bins_{};
+  std::uint64_t n_ = 0;
+  std::int64_t sum_ = 0;
+  std::int64_t min_ = std::numeric_limits<std::int64_t>::max();
+  std::int64_t max_ = 0;
+};
+
+/// Named counters + histograms with stable addresses and deterministic
+/// (sorted-name) JSON export.
+class MetricsRegistry {
+ public:
+  [[nodiscard]] Counter& counter(const std::string& name) { return counters_[name]; }
+  [[nodiscard]] LatencyHistogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  [[nodiscard]] const std::map<std::string, Counter>& counters() const { return counters_; }
+  [[nodiscard]] const std::map<std::string, LatencyHistogram>& histograms() const {
+    return histograms_;
+  }
+
+  /// Fold another registry in (union of names; same-name entries merge).
+  void merge(const MetricsRegistry& o);
+
+  /// {"counters": {...}, "histograms": {name: {count,min,max,mean,p50,...}}}
+  [[nodiscard]] std::string to_json() const;
+
+  /// Write to_json() to `path`. Returns false on I/O failure.
+  bool write_json(const std::string& path) const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, LatencyHistogram> histograms_;
+};
+
+}  // namespace u5g

@@ -469,8 +469,8 @@ struct EntityChain {
     if (!parsed) return 0;
     for (MacSubPdu& sp : *parsed) {
       if (sp.lcid != Lcid::Drb1) continue;
-      rlc_rx.receive(std::move(sp.payload), [&](ByteBuffer&& sdu) {
-        pdcp_rx.receive(std::move(sdu), [&](ByteBuffer&& plain, std::uint32_t) {
+      rlc_rx.receive(std::move(sp.payload), [&](ByteBuffer&& sdu, const PacketMeta&) {
+        pdcp_rx.receive(std::move(sdu), [&](ByteBuffer&& plain, const PacketMeta&) {
           (void)sdap.decapsulate(plain);
           if (plain.size() == payload_bytes && plain.bytes()[0] == fill) {
             delivered = plain.size();
@@ -512,7 +512,7 @@ TEST(ZeroAllocTest, WarmE2eUplinkPacketIsAllocationFree) {
   // the last packet's complete journey — app, SDAP/PDCP/RLC, configured
   // grant, MAC PDU, radio, gNB receive chain, UPF delivery — must finish
   // without a single heap allocation.
-  E2eConfig cfg = E2eConfig::testbed(/*grant_free=*/true, /*seed=*/7);
+  StackConfig cfg = StackConfig::testbed_grant_free(/*seed=*/7);
   E2eSystem sys(cfg);
 
   // 4 ms spacing keeps one packet in flight at a time: the DDDU pattern has

@@ -35,7 +35,7 @@ void offer_uniform(E2eSystem& sys, int packets, Direction dir, std::uint64_t see
 // Delivery and latency bands
 
 TEST(E2eTest, TestbedDeliversEverything) {
-  E2eSystem sys(E2eConfig::testbed(false, 1));
+  E2eSystem sys(StackConfig::testbed_grant_based(1));
   offer_uniform(sys, 200, Direction::Uplink, 2);
   offer_uniform(sys, 200, Direction::Downlink, 3);
   sys.run_until(kPattern * 2 * 220);
@@ -45,7 +45,7 @@ TEST(E2eTest, TestbedDeliversEverything) {
 
 TEST(E2eTest, TestbedLatencyBandsMatchFig6) {
   // Fig 6's bands: DL ~1.3-3.2 ms; grant-based UL ~2-7 ms.
-  E2eSystem sys(E2eConfig::testbed(false, 4));
+  E2eSystem sys(StackConfig::testbed_grant_based(4));
   offer_uniform(sys, 400, Direction::Uplink, 5);
   offer_uniform(sys, 400, Direction::Downlink, 6);
   sys.run_until(kPattern * 2 * 420);
@@ -60,8 +60,8 @@ TEST(E2eTest, TestbedLatencyBandsMatchFig6) {
 
 TEST(E2eTest, GrantFreeSavesAboutOnePattern) {
   // §7 / Fig 6: grant-free removes the SR+grant handshake, ~one TDD period.
-  E2eSystem gb(E2eConfig::testbed(false, 7));
-  E2eSystem gf(E2eConfig::testbed(true, 7));
+  E2eSystem gb(StackConfig::testbed_grant_based(7));
+  E2eSystem gf(StackConfig::testbed_grant_free(7));
   offer_uniform(gb, 300, Direction::Uplink, 8);
   offer_uniform(gf, 300, Direction::Uplink, 8);
   gb.run_until(kPattern * 2 * 320);
@@ -73,7 +73,7 @@ TEST(E2eTest, GrantFreeSavesAboutOnePattern) {
 }
 
 TEST(E2eTest, UrllcDesignMeetsMillisecondClassLatency) {
-  E2eSystem sys(E2eConfig::urllc_design(9));
+  E2eSystem sys(StackConfig::urllc_design(9));
   Rng rng(10);
   for (int i = 0; i < 300; ++i) {
     sys.send_uplink_at(1_ms * (2 * i) + Nanos{static_cast<std::int64_t>(rng.uniform() * 5e5)});
@@ -93,7 +93,7 @@ TEST(E2eTest, UrllcDesignMeetsMillisecondClassLatency) {
 // Table 2 emergence
 
 TEST(E2eTest, RlcQueueWaitEmerges) {
-  E2eSystem sys(E2eConfig::testbed(false, 11));
+  E2eSystem sys(StackConfig::testbed_grant_based(11));
   offer_uniform(sys, 500, Direction::Downlink, 12);
   sys.run_until(kPattern * 2 * 520);
   const RunningStats q = sys.rlc_queue_stats_us();
@@ -104,7 +104,7 @@ TEST(E2eTest, RlcQueueWaitEmerges) {
 }
 
 TEST(E2eTest, LayerStatsMatchCalibration) {
-  E2eSystem sys(E2eConfig::testbed(false, 13));
+  E2eSystem sys(StackConfig::testbed_grant_based(13));
   offer_uniform(sys, 400, Direction::Uplink, 14);
   offer_uniform(sys, 400, Direction::Downlink, 15);
   sys.run_until(kPattern * 2 * 420);
@@ -117,7 +117,7 @@ TEST(E2eTest, LayerStatsMatchCalibration) {
 // Loss, HARQ, radio deadlines
 
 TEST(E2eTest, ChannelLossRecoveredByHarq) {
-  E2eConfig cfg = E2eConfig::testbed(true, 16);
+  StackConfig cfg = StackConfig::testbed_grant_free(16);
   cfg.channel_loss = 0.1;
   E2eSystem sys(std::move(cfg));
   offer_uniform(sys, 300, Direction::Uplink, 17);
@@ -133,7 +133,7 @@ TEST(E2eTest, ChannelLossRecoveredByHarq) {
 }
 
 TEST(E2eTest, RetransmissionCostsVisibleInLatency) {
-  E2eConfig cfg = E2eConfig::testbed(true, 19);
+  StackConfig cfg = StackConfig::testbed_grant_free(19);
   cfg.channel_loss = 0.15;
   E2eSystem sys(std::move(cfg));
   offer_uniform(sys, 400, Direction::Downlink, 20);
@@ -148,14 +148,14 @@ TEST(E2eTest, RetransmissionCostsVisibleInLatency) {
 }
 
 TEST(E2eTest, TightLeadCausesRadioDeadlineMisses) {
-  E2eConfig cfg = E2eConfig::testbed(false, 21);
+  StackConfig cfg = StackConfig::testbed_grant_based(21);
   cfg.sched.radio_lead = Nanos{360'000};  // barely covers the USB cost
   E2eSystem tight(std::move(cfg));
   offer_uniform(tight, 400, Direction::Downlink, 22);
   tight.run_until(kPattern * 2 * 420);
   EXPECT_GT(tight.radio_deadline_misses(), 0u);
 
-  E2eConfig cfg2 = E2eConfig::testbed(false, 21);
+  StackConfig cfg2 = StackConfig::testbed_grant_based(21);
   cfg2.sched.radio_lead = 1_ms;
   E2eSystem loose(std::move(cfg2));
   offer_uniform(loose, 400, Direction::Downlink, 22);
@@ -167,7 +167,7 @@ TEST(E2eTest, TightLeadCausesRadioDeadlineMisses) {
 // Structural integrity
 
 TEST(E2eTest, RecordsCarryDirectionAndOrdering) {
-  E2eSystem sys(E2eConfig::testbed(true, 23));
+  E2eSystem sys(StackConfig::testbed_grant_free(23));
   sys.send_uplink_at(1_ms);
   sys.send_downlink_at(2_ms);
   sys.run_until(100_ms);
@@ -183,7 +183,7 @@ TEST(E2eTest, RecordsCarryDirectionAndOrdering) {
 }
 
 TEST(E2eTest, DlRecordsCarryPerLayerTimes) {
-  E2eSystem sys(E2eConfig::testbed(false, 24));
+  E2eSystem sys(StackConfig::testbed_grant_based(24));
   sys.send_downlink_at(1_ms);
   sys.run_until(100_ms);
   const PacketRecord& r = sys.records().front();
@@ -195,7 +195,7 @@ TEST(E2eTest, DlRecordsCarryPerLayerTimes) {
 }
 
 TEST(E2eTest, ReliabilityHelperConsistent) {
-  E2eSystem sys(E2eConfig::testbed(true, 25));
+  E2eSystem sys(StackConfig::testbed_grant_free(25));
   offer_uniform(sys, 100, Direction::Downlink, 26);
   sys.run_until(kPattern * 2 * 120);
   EXPECT_DOUBLE_EQ(sys.reliability_at(Direction::Downlink, 100_ms), 1.0);
@@ -204,7 +204,7 @@ TEST(E2eTest, ReliabilityHelperConsistent) {
 
 TEST(E2eTest, DeterministicForSeed) {
   auto run = [](std::uint64_t seed) {
-    E2eSystem sys(E2eConfig::testbed(false, seed));
+    E2eSystem sys(StackConfig::testbed_grant_based(seed));
     offer_uniform(sys, 50, Direction::Uplink, 99);
     sys.run_until(kPattern * 2 * 60);
     return sys.latency_samples_us(Direction::Uplink).mean();
@@ -217,10 +217,10 @@ TEST(E2eTest, MiniSlotDuplexWorksEndToEnd) {
   // The Mini-Slot configuration drives the same E2E machinery at 2-symbol
   // granularity: everything delivers, and latency beats the DM design point
   // (denser opportunities in both directions).
-  E2eConfig cfg = E2eConfig::urllc_design(77);
+  StackConfig cfg = StackConfig::urllc_design(77);
   cfg.duplex = std::make_shared<MiniSlotConfig>(kMu2, 2);
   E2eSystem mini(std::move(cfg));
-  E2eSystem dm(E2eConfig::urllc_design(77));
+  E2eSystem dm(StackConfig::urllc_design(77));
   Rng rng(78);
   for (int i = 0; i < 150; ++i) {
     const Nanos at =
@@ -242,7 +242,7 @@ TEST(E2eTest, MiniSlotDuplexWorksEndToEnd) {
 }
 
 TEST(E2eTest, MissingDuplexThrows) {
-  E2eConfig cfg;  // duplex not set
+  StackConfig cfg;  // duplex not set
   EXPECT_THROW(E2eSystem{std::move(cfg)}, std::invalid_argument);
 }
 
@@ -253,7 +253,7 @@ TEST(E2eTest, MissingDuplexThrows) {
 TEST(E2eAgreementTest, SimWithinAnalyticEnvelope) {
   // Near-ideal system: zero processing, zero-jitter/zero-cost radio, free
   // core network — protocol geometry is all that remains.
-  E2eConfig cfg;
+  StackConfig cfg;
   cfg.duplex = std::make_shared<TddCommonConfig>(TddCommonConfig::dddu(kMu1));
   cfg.grant_free = true;
   cfg.cg = ConfiguredGrantConfig::every_symbol(256, 4);

@@ -264,7 +264,7 @@ TEST(FuzzRlc, RandomGrantsReassembleExactly) {
       auto pdu = tx.pull(grant);
       if (!pdu) continue;
       rx.receive(std::move(pdu->pdu),
-                 [&](ByteBuffer&& sdu) { received.push_back(std::move(sdu)); });
+                 [&](ByteBuffer&& sdu, const PacketMeta&) { received.push_back(std::move(sdu)); });
     }
     ASSERT_LT(guard, 10'000) << "seed " << seed << ": segmentation did not drain";
     ASSERT_EQ(received.size(), sent.size()) << "seed " << seed;
@@ -297,7 +297,7 @@ TEST(FuzzRlc, AmRecoversFromRandomLoss) {
         if (!pdu) break;
         if (rng.bernoulli(0.3)) continue;  // lost on the air
         rx.receive(std::move(pdu->pdu),
-                   [&](ByteBuffer&& sdu) { received.push_back(std::move(sdu)); });
+                   [&](ByteBuffer&& sdu, const PacketMeta&) { received.push_back(std::move(sdu)); });
       }
       const auto status = rx.build_status();
       tx.on_status(status.ack_sn, status.nacks);
@@ -353,9 +353,9 @@ TEST(FuzzPdcp, RandomReorderAndDuplicatesDeliverInOrderOnce) {
 
     std::vector<std::uint32_t> delivered;
     for (ByteBuffer& b : wire) {
-      rx.receive(std::move(b), [&](ByteBuffer&&, std::uint32_t c) { delivered.push_back(c); });
+      rx.receive(std::move(b), [&](ByteBuffer&&, const PacketMeta& m) { delivered.push_back(m.count); });
     }
-    rx.flush([&](ByteBuffer&&, std::uint32_t c) { delivered.push_back(c); });
+    rx.flush([&](ByteBuffer&&, const PacketMeta& m) { delivered.push_back(m.count); });
 
     // Exactly once, strictly increasing.
     EXPECT_EQ(delivered.size(), static_cast<std::size_t>(n)) << "seed " << seed;

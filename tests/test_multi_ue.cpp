@@ -15,7 +15,7 @@ using namespace u5g::literals;
 constexpr Nanos kPattern{2'000'000};
 
 TEST(MultiUeTest, AllUesDeliver) {
-  E2eConfig cfg = E2eConfig::testbed(true, 1);
+  StackConfig cfg = StackConfig::testbed_grant_free(1);
   cfg.num_ues = 4;
   E2eSystem sys(std::move(cfg));
   Rng rng(2);
@@ -43,7 +43,7 @@ TEST(MultiUeTest, PayloadsNotCrossDelivered) {
   // integrity on UE 1's chain. Indirectly verified end to end: every packet
   // sent to UE k is delivered with its own record intact (the finalize path
   // would mismatch sequence numbers otherwise).
-  E2eConfig cfg = E2eConfig::testbed(true, 3);
+  StackConfig cfg = StackConfig::testbed_grant_free(3);
   cfg.num_ues = 2;
   E2eSystem sys(std::move(cfg));
   for (int i = 0; i < 20; ++i) {
@@ -61,7 +61,7 @@ TEST(MultiUeTest, ContentionRaisesUplinkLatency) {
   // Grants serialise on the scarce UL windows, so the *average over UEs*
   // grows with the burst size (§9's scalability problem).
   auto mean_ul = [](int n_ues, std::uint64_t seed) {
-    E2eConfig cfg = E2eConfig::testbed(false, seed);
+    StackConfig cfg = StackConfig::testbed_grant_based(seed);
     cfg.num_ues = n_ues;
     E2eSystem sys(std::move(cfg));
     for (int i = 0; i < 40; ++i) {
@@ -81,7 +81,7 @@ TEST(MultiUeTest, GnbProcessingScalesWithUes) {
   // The gNB MAC draw is recorded on the uplink receive path; its mean must
   // scale with the configured load factor: 1 + 0.08 * (11 - 1) = 1.8.
   auto mac_mean = [](int n_ues) {
-    E2eConfig cfg = E2eConfig::testbed(true, 20);
+    StackConfig cfg = StackConfig::testbed_grant_free(20);
     cfg.num_ues = n_ues;
     E2eSystem sys(std::move(cfg));
     for (int i = 0; i < 100; ++i) sys.send_uplink_at(kPattern * i + 50_us, i % n_ues);
@@ -97,7 +97,7 @@ TEST(MultiUeTest, StaggeredConfiguredGrantsDoNotCollide) {
   // Two UEs with periodic CG on the same pattern: occasions are offset by
   // the configured stagger, so simultaneous arrivals both get served within
   // one pattern of each other.
-  E2eConfig cfg = E2eConfig::testbed(true, 30);
+  StackConfig cfg = StackConfig::testbed_grant_free(30);
   cfg.num_ues = 2;
   E2eSystem sys(std::move(cfg));
   for (int i = 0; i < 40; ++i) {
@@ -114,7 +114,7 @@ TEST(MultiUeTest, PdcpReorderingTimerUnblocksAfterPermanentLoss) {
   // Regression: a packet whose HARQ budget is exhausted leaves a hole in the
   // PDCP COUNT sequence. Without t-Reordering, every later packet would be
   // held forever; with it, later packets are flushed within the timer.
-  E2eConfig cfg = E2eConfig::testbed(true, 60);
+  StackConfig cfg = StackConfig::testbed_grant_free(60);
   // A 40 ms blocked dwell kills packets sent during it outright.
   cfg.blockage = MmWaveBlockage::Params{.mean_los = 200_ms,
                                         .mean_blocked = 40_ms,
@@ -134,7 +134,7 @@ TEST(MultiUeTest, PdcpReorderingTimerUnblocksAfterPermanentLoss) {
 }
 
 TEST(MultiUeTest, InvalidUeIndexThrows) {
-  E2eConfig cfg = E2eConfig::testbed(true, 40);
+  StackConfig cfg = StackConfig::testbed_grant_free(40);
   cfg.num_ues = 2;
   E2eSystem sys(std::move(cfg));
   EXPECT_THROW(sys.send_uplink_at(1_ms, 2), std::out_of_range);
@@ -145,7 +145,7 @@ TEST(MultiUeTest, BlockageDegradesDelivery) {
   // FR2-style blockage: blocked dwells (50 ms) dwarf the HARQ recovery span
   // (~4 attempts in a few ms), so packets arriving while blocked are lost.
   // Sparse offered load isolates the blockage effect from queueing collapse.
-  E2eConfig cfg = E2eConfig::testbed(true, 50);
+  StackConfig cfg = StackConfig::testbed_grant_free(50);
   cfg.blockage = MmWaveBlockage::Params{.mean_los = 50_ms,
                                         .mean_blocked = 50_ms,
                                         .blocked_loss_prob = 1.0};

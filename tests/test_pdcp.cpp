@@ -81,9 +81,9 @@ TEST(PdcpTest, ProtectReceiveRoundTrip) {
 
   std::vector<std::uint32_t> counts;
   ByteBuffer delivered(0);
-  EXPECT_TRUE(rx.receive(std::move(b), [&](ByteBuffer&& s, std::uint32_t c) {
+  EXPECT_TRUE(rx.receive(std::move(b), [&](ByteBuffer&& s, const PacketMeta& m) {
     delivered = std::move(s);
-    counts.push_back(c);
+    counts.push_back(m.count);
   }));
   ASSERT_EQ(counts.size(), 1u);
   EXPECT_EQ(counts[0], 0u);
@@ -97,8 +97,8 @@ TEST(PdcpTest, InOrderStreamDeliversAll) {
   for (int i = 0; i < 50; ++i) {
     ByteBuffer b = payload(10, static_cast<std::uint8_t>(i));
     tx.protect(b);
-    rx.receive(std::move(b), [&](ByteBuffer&&, std::uint32_t c) {
-      EXPECT_EQ(c, static_cast<std::uint32_t>(delivered));
+    rx.receive(std::move(b), [&](ByteBuffer&&, const PacketMeta& m) {
+      EXPECT_EQ(m.count, static_cast<std::uint32_t>(delivered));
       ++delivered;
     });
   }
@@ -116,7 +116,7 @@ TEST(PdcpTest, ReordersOutOfOrderArrivals) {
     pdus.push_back(std::move(b));
   }
   std::vector<std::uint32_t> order;
-  auto deliver = [&](ByteBuffer&&, std::uint32_t c) { order.push_back(c); };
+  auto deliver = [&](ByteBuffer&&, const PacketMeta& m) { order.push_back(m.count); };
   rx.receive(std::move(pdus[1]), deliver);  // out of order: held
   EXPECT_TRUE(order.empty());
   EXPECT_EQ(rx.held_count(), 1u);
@@ -133,7 +133,7 @@ TEST(PdcpTest, DuplicateRejected) {
   tx.protect(b);
   ByteBuffer dup = b;
   int delivered = 0;
-  auto deliver = [&](ByteBuffer&&, std::uint32_t) { ++delivered; };
+  auto deliver = [&](ByteBuffer&&, const PacketMeta&) { ++delivered; };
   EXPECT_TRUE(rx.receive(std::move(b), deliver));
   EXPECT_FALSE(rx.receive(std::move(dup), deliver));  // now stale
   EXPECT_EQ(delivered, 1);
@@ -147,7 +147,7 @@ TEST(PdcpTest, HeldDuplicateRejected) {
   ByteBuffer b = payload(10);
   tx.protect(b);  // COUNT 1
   ByteBuffer dup = b;
-  auto deliver = [](ByteBuffer&&, std::uint32_t) {};
+  auto deliver = [](ByteBuffer&&, const PacketMeta&) {};
   EXPECT_TRUE(rx.receive(std::move(b), deliver));    // held (waiting for 0)
   EXPECT_FALSE(rx.receive(std::move(dup), deliver)); // duplicate of held
   EXPECT_EQ(rx.held_count(), 1u);
@@ -160,7 +160,7 @@ TEST(PdcpTest, TamperedPduDiscarded) {
   tx.protect(b);
   b.bytes()[5] ^= 0xFF;  // corrupt ciphered payload
   int delivered = 0;
-  EXPECT_FALSE(rx.receive(std::move(b), [&](ByteBuffer&&, std::uint32_t) { ++delivered; }));
+  EXPECT_FALSE(rx.receive(std::move(b), [&](ByteBuffer&&, const PacketMeta&) { ++delivered; }));
   EXPECT_EQ(delivered, 0);
   EXPECT_EQ(rx.integrity_failures(), 1u);
 }
@@ -170,7 +170,7 @@ TEST(PdcpTest, MismatchedSecurityContextFails) {
   PdcpRx rx{PdcpConfig{.security = CipherContext{.key = 2}}};
   ByteBuffer b = payload(20);
   tx.protect(b);
-  EXPECT_FALSE(rx.receive(std::move(b), [](ByteBuffer&&, std::uint32_t) {}));
+  EXPECT_FALSE(rx.receive(std::move(b), [](ByteBuffer&&, const PacketMeta&) {}));
 }
 
 TEST(PdcpTest, FlushSkipsGaps) {
@@ -183,7 +183,7 @@ TEST(PdcpTest, FlushSkipsGaps) {
     pdus.push_back(std::move(b));
   }
   std::vector<std::uint32_t> order;
-  auto deliver = [&](ByteBuffer&&, std::uint32_t c) { order.push_back(c); };
+  auto deliver = [&](ByteBuffer&&, const PacketMeta& m) { order.push_back(m.count); };
   rx.receive(std::move(pdus[1]), deliver);
   rx.receive(std::move(pdus[2]), deliver);
   EXPECT_TRUE(order.empty());
@@ -201,8 +201,8 @@ TEST(PdcpTest, SnWrapAround) {
   for (int i = 0; i < 4096 + 50; ++i) {
     ByteBuffer b = payload(4);
     tx.protect(b);
-    rx.receive(std::move(b), [&](ByteBuffer&&, std::uint32_t c) {
-      EXPECT_EQ(c, static_cast<std::uint32_t>(delivered));
+    rx.receive(std::move(b), [&](ByteBuffer&&, const PacketMeta& m) {
+      EXPECT_EQ(m.count, static_cast<std::uint32_t>(delivered));
       ++delivered;
     });
   }
@@ -217,7 +217,7 @@ TEST(PdcpTest, EighteenBitSn) {
   tx.protect(b);
   EXPECT_EQ(b.size(), 30u + 3 + 4);  // 3-byte header
   ByteBuffer out(0);
-  EXPECT_TRUE(rx.receive(std::move(b), [&](ByteBuffer&& s, std::uint32_t) { out = std::move(s); }));
+  EXPECT_TRUE(rx.receive(std::move(b), [&](ByteBuffer&& s, const PacketMeta&) { out = std::move(s); }));
   EXPECT_TRUE(same_bytes(out, payload(30, 0x7)));
 }
 
@@ -229,14 +229,14 @@ TEST(PdcpTest, IntegrityDisabledMode) {
   tx.protect(b);
   EXPECT_EQ(b.size(), 25u + 2);  // no MAC-I
   ByteBuffer out(0);
-  EXPECT_TRUE(rx.receive(std::move(b), [&](ByteBuffer&& s, std::uint32_t) { out = std::move(s); }));
+  EXPECT_TRUE(rx.receive(std::move(b), [&](ByteBuffer&& s, const PacketMeta&) { out = std::move(s); }));
   EXPECT_TRUE(same_bytes(out, payload(25, 0x9)));
 }
 
 TEST(PdcpTest, RuntPduRejected) {
   PdcpRx rx;
   ByteBuffer tiny(3);
-  EXPECT_FALSE(rx.receive(std::move(tiny), [](ByteBuffer&&, std::uint32_t) {}));
+  EXPECT_FALSE(rx.receive(std::move(tiny), [](ByteBuffer&&, const PacketMeta&) {}));
 }
 
 }  // namespace

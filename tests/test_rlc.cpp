@@ -86,7 +86,7 @@ TEST(RlcUmTest, CompleteSduRoundTrip) {
   EXPECT_FALSE(pdu->is_retransmission);
 
   std::vector<ByteBuffer> out;
-  rx.receive(std::move(const_cast<ByteBuffer&>(pdu->pdu)), [&](ByteBuffer&& s) {
+  rx.receive(std::move(const_cast<ByteBuffer&>(pdu->pdu)), [&](ByteBuffer&& s, const PacketMeta&) {
     out.push_back(std::move(s));
   });
   ASSERT_EQ(out.size(), 1u);
@@ -143,7 +143,7 @@ TEST_P(SegmentationTest, ReassembledEqualsOriginal) {
   int pdus = 0;
   while (auto pdu = tx.pull(static_cast<std::size_t>(grant))) {
     ++pdus;
-    rx.receive(std::move(pdu->pdu), [&](ByteBuffer&& s) { out.push_back(std::move(s)); });
+    rx.receive(std::move(pdu->pdu), [&](ByteBuffer&& s, const PacketMeta&) { out.push_back(std::move(s)); });
     ASSERT_LT(pdus, 1000) << "segmentation does not terminate";
   }
   ASSERT_EQ(out.size(), 1u);
@@ -167,7 +167,7 @@ TEST(SegmentationTest, OutOfOrderSegmentsReassemble) {
   std::vector<ByteBuffer> out;
   // Deliver in reverse order.
   for (auto it = pdus.rbegin(); it != pdus.rend(); ++it) {
-    rx.receive(std::move(*it), [&](ByteBuffer&& s) { out.push_back(std::move(s)); });
+    rx.receive(std::move(*it), [&](ByteBuffer&& s, const PacketMeta&) { out.push_back(std::move(s)); });
   }
   ASSERT_EQ(out.size(), 1u);
   EXPECT_TRUE(same_bytes(out[0], payload(100, 0x11)));
@@ -182,10 +182,10 @@ TEST(SegmentationTest, DuplicateSegmentIgnored) {
 
   std::vector<ByteBuffer> out;
   ByteBuffer dup = pdus[0];
-  rx.receive(std::move(pdus[0]), [&](ByteBuffer&& s) { out.push_back(std::move(s)); });
-  rx.receive(std::move(dup), [&](ByteBuffer&& s) { out.push_back(std::move(s)); });
+  rx.receive(std::move(pdus[0]), [&](ByteBuffer&& s, const PacketMeta&) { out.push_back(std::move(s)); });
+  rx.receive(std::move(dup), [&](ByteBuffer&& s, const PacketMeta&) { out.push_back(std::move(s)); });
   for (std::size_t i = 1; i < pdus.size(); ++i) {
-    rx.receive(std::move(pdus[i]), [&](ByteBuffer&& s) { out.push_back(std::move(s)); });
+    rx.receive(std::move(pdus[i]), [&](ByteBuffer&& s, const PacketMeta&) { out.push_back(std::move(s)); });
   }
   ASSERT_EQ(out.size(), 1u);
   EXPECT_TRUE(same_bytes(out[0], payload(100, 0x22)));
@@ -201,8 +201,8 @@ TEST(SegmentationTest, MissingSegmentHoldsReassembly) {
 
   std::vector<ByteBuffer> out;
   // Drop the middle segment.
-  rx.receive(std::move(pdus.front()), [&](ByteBuffer&& s) { out.push_back(std::move(s)); });
-  rx.receive(std::move(pdus.back()), [&](ByteBuffer&& s) { out.push_back(std::move(s)); });
+  rx.receive(std::move(pdus.front()), [&](ByteBuffer&& s, const PacketMeta&) { out.push_back(std::move(s)); });
+  rx.receive(std::move(pdus.back()), [&](ByteBuffer&& s, const PacketMeta&) { out.push_back(std::move(s)); });
   EXPECT_TRUE(out.empty());
   EXPECT_EQ(rx.pending_reassemblies(), 1u);
 }
@@ -219,9 +219,9 @@ TEST(RlcAmTest, StatusReportsNackForMissingSn) {
   ASSERT_EQ(pdus.size(), 3u);
 
   std::vector<ByteBuffer> out;
-  rx.receive(std::move(pdus[0]), [&](ByteBuffer&& s) { out.push_back(std::move(s)); });
+  rx.receive(std::move(pdus[0]), [&](ByteBuffer&& s, const PacketMeta&) { out.push_back(std::move(s)); });
   // pdus[1] lost.
-  rx.receive(std::move(pdus[2]), [&](ByteBuffer&& s) { out.push_back(std::move(s)); });
+  rx.receive(std::move(pdus[2]), [&](ByteBuffer&& s, const PacketMeta&) { out.push_back(std::move(s)); });
 
   const auto st = rx.build_status();
   EXPECT_EQ(st.ack_sn, 3);
@@ -266,7 +266,7 @@ TEST(RlcAmTest, RetransmittedPduDeliversCorrectly) {
   auto retx = tx.pull(64);
   ASSERT_TRUE(retx.has_value());
   std::vector<ByteBuffer> out;
-  rx.receive(std::move(retx->pdu), [&](ByteBuffer&& s) { out.push_back(std::move(s)); });
+  rx.receive(std::move(retx->pdu), [&](ByteBuffer&& s, const PacketMeta&) { out.push_back(std::move(s)); });
   ASSERT_EQ(out.size(), 1u);
   EXPECT_TRUE(same_bytes(out[0], payload(20, 0x55)));
 }
@@ -289,7 +289,7 @@ TEST(RlcTmTest, Passthrough) {
   auto p = tx.pull(100);
   ASSERT_TRUE(p.has_value());
   std::vector<ByteBuffer> out;
-  rx.receive(std::move(p->pdu), [&](ByteBuffer&& s) { out.push_back(std::move(s)); });
+  rx.receive(std::move(p->pdu), [&](ByteBuffer&& s, const PacketMeta&) { out.push_back(std::move(s)); });
   ASSERT_EQ(out.size(), 1u);
   EXPECT_TRUE(same_bytes(out[0], payload(40, 0x66)));
 }

@@ -207,7 +207,7 @@ struct Fig6Mini {
 };
 
 Fig6Mini fig6_mini_replication(int packets, std::uint64_t seed) {
-  E2eSystem sys(E2eConfig::testbed(/*grant_free=*/false, seed));
+  E2eSystem sys(StackConfig::testbed_grant_based(seed));
   const Nanos period = 2_ms;
   Rng rng(seed ^ 0xF16);
   for (int i = 0; i < packets; ++i) {
