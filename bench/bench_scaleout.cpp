@@ -1,0 +1,168 @@
+// Scale-out throughput: UE-packets/s of the sharded multi-cell engine as a
+// function of worker threads, on a 16-cell x 8-UE scenario with inter-cell
+// load coupling (so the slot-boundary barrier and the cross-shard load
+// exchange are actually exercised).
+//
+// Besides throughput, this bench *verifies* the engine's determinism
+// contract: the merged metrics JSON of every thread count must be
+// byte-identical to the 1-thread baseline. `--strict` turns a mismatch into
+// a non-zero exit (CI gate). Speedups are reported but never asserted —
+// they depend on the machine's core count.
+//
+// CLI: [--packets N] (per UE per direction) [--seed S] [--threads T]
+//      [--json FILE] [--trace FILE] [--strict]
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "sim/runner.hpp"
+#include "sim/sharded.hpp"
+
+using namespace u5g;
+using namespace u5g::literals;
+
+namespace {
+
+constexpr int kCells = 16;
+constexpr int kUes = 8;
+
+StackConfig scenario(std::uint64_t seed) {
+  StackConfig cfg = StackConfig::testbed_grant_free(seed);
+  cfg.num_cells = kCells;
+  cfg.num_ues = kUes;
+  cfg.intercell_load_coupling = 0.02;  // finite lookahead: barrier every slot
+  cfg.trace.enabled = true;
+  cfg.trace.metrics = true;  // merged registry is the determinism witness
+  return cfg;
+}
+
+/// Deterministic per-(cell, ue, packet) arrival offset within the period.
+Nanos offset_in(Nanos period, std::uint64_t seed, int cell, int ue, int p) {
+  const std::uint64_t h = splitmix64(seed ^ replication_seed(
+                                                static_cast<std::uint64_t>(cell) * 1000003ULL +
+                                                    static_cast<std::uint64_t>(ue) * 1009ULL,
+                                                static_cast<std::uint64_t>(p)));
+  return Nanos{static_cast<std::int64_t>(h % static_cast<std::uint64_t>(period.count()))};
+}
+
+struct RunResult {
+  double wall_s = 0.0;
+  std::uint64_t delivered = 0;
+  std::uint64_t events = 0;
+  std::string metrics_json;
+};
+
+RunResult run_once(const StackConfig& cfg, int threads, int packets, Nanos period) {
+  ShardedEngine eng(cfg, ShardedOptions{threads});
+  for (int c = 0; c < eng.num_cells(); ++c) {
+    for (int u = 0; u < cfg.num_ues; ++u) {
+      for (int p = 0; p < packets; ++p) {
+        const Nanos base = period * (2 * p);
+        eng.send_uplink_at(base + offset_in(period, cfg.seed, c, u, p), c, u);
+        eng.send_downlink_at(base + period + offset_in(period, cfg.seed ^ 0xD1, c, u, p), c, u);
+      }
+    }
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  eng.run_until(period * (2 * packets + 20));
+  const auto t1 = std::chrono::steady_clock::now();
+  RunResult r;
+  r.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  r.delivered = eng.packets_delivered();
+  r.events = eng.events_fired();
+  r.metrics_json = eng.merged_metrics().to_json();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOptions defaults;
+  defaults.packets = 50;
+  const BenchOptions opt = parse_bench_options(argc, argv, defaults);
+  const int packets = opt.packets > 0 ? opt.packets : 50;
+  const Nanos period = 2_ms;
+  const StackConfig cfg = scenario(opt.seed);
+
+  std::printf("== Scale-out: %d cells x %d UEs, %d UL + %d DL packets per UE ==\n\n", kCells,
+              kUes, packets, packets);
+
+  std::vector<int> sweep = {1, 2, 4, 8};
+  if (opt.threads > 0 && opt.threads != 8) sweep.push_back(opt.threads);
+
+  TextTable out({"threads", "wall [s]", "UE-packets/s", "speedup", "delivered", "identical"});
+  bool identical = true;
+  double base_pps = 0.0;
+  std::string baseline;
+  struct Row {
+    int threads;
+    double wall_s, pps, speedup;
+    std::uint64_t delivered;
+    bool same;
+  };
+  std::vector<Row> rows;
+  for (int t : sweep) {
+    const RunResult r = run_once(cfg, t, packets, period);
+    const double pps = static_cast<double>(r.delivered) / r.wall_s;
+    if (t == 1) {
+      baseline = r.metrics_json;
+      base_pps = pps;
+    }
+    const bool same = r.metrics_json == baseline;
+    identical = identical && same;
+    rows.push_back(Row{t, r.wall_s, pps, pps / base_pps, r.delivered, same});
+    out.add_row({std::to_string(t), fmt2(r.wall_s), fmt2(pps), fmt2(pps / base_pps),
+                 std::to_string(r.delivered), same ? "yes" : "NO"});
+  }
+  std::printf("%s\n", out.render().c_str());
+  std::printf("merged metrics across thread counts: %s\n",
+              identical ? "bitwise-identical" : "MISMATCH");
+
+  if (opt.json) {
+    std::FILE* f = std::fopen(opt.json->c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_scaleout: cannot write %s\n", opt.json->c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\"bench\":\"scaleout\",\"cells\":%d,\"ues\":%d,\"packets_per_ue\":%d,\n",
+                 kCells, kUes, packets);
+    std::fprintf(f, " \"metrics_identical\":%s,\"results\":[\n", identical ? "true" : "false");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(f,
+                   "  {\"threads\":%d,\"wall_s\":%.6f,\"ue_packets_per_s\":%.1f,"
+                   "\"speedup\":%.3f,\"delivered\":%llu,\"identical\":%s}%s\n",
+                   r.threads, r.wall_s, r.pps, r.speedup,
+                   static_cast<unsigned long long>(r.delivered), r.same ? "true" : "false",
+                   i + 1 == rows.size() ? "" : ",");
+    }
+    std::fprintf(f, "]}\n");
+    std::fclose(f);
+  }
+
+  if (opt.trace) {
+    // A small traced run (tracing every packet of the full sweep would dwarf
+    // the trace viewer): 4 cells, 1 UE, spans on, one lane per cell.
+    StackConfig tcfg = cfg;
+    tcfg.num_cells = 4;
+    tcfg.num_ues = 1;
+    tcfg.trace.spans = true;
+    ShardedEngine eng(tcfg, ShardedOptions{1});
+    for (int c = 0; c < eng.num_cells(); ++c) {
+      eng.send_uplink_at(offset_in(period, tcfg.seed, c, 0, 0), c, 0);
+      eng.send_downlink_at(period + offset_in(period, tcfg.seed ^ 0xD1, c, 0, 0), c, 0);
+    }
+    eng.run_until(period * 20);
+    const auto lanes = eng.trace_lanes();
+    if (!write_chrome_trace(*opt.trace, lanes)) {
+      std::fprintf(stderr, "bench_scaleout: cannot write %s\n", opt.trace->c_str());
+      return 1;
+    }
+  }
+
+  return (opt.strict && !identical) ? 1 : 0;
+}

@@ -10,6 +10,7 @@
 
 #include <cstdio>
 
+#include "common/cli.hpp"
 #include "common/table.hpp"
 #include "core/feasibility.hpp"
 
@@ -30,9 +31,42 @@ const char* paper_verdict(AccessMode m, const std::string& name) {
   return "?";
 }
 
+/// Fixed-layout JSON export: every number is printed through fmt3, so the
+/// file is byte-stable for a given build — the golden-file regression test
+/// (tests/golden/) diffs it bit for bit.
+bool write_json(const std::string& path, const Table1& table, bool all_match) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  std::fprintf(f, "{\n  \"bench\": \"bench_table1\",\n  \"deadline_ms\": %s,\n",
+               fmt3(kUrllcOneWayDeadline.ms()).c_str());
+  std::fprintf(f, "  \"columns\": [\n");
+  for (std::size_t i = 0; i < table.columns.size(); ++i) {
+    const FeasibilityColumn& col = table.columns[i];
+    std::fprintf(f, "    {\"config\": \"%s\", \"slot_map\": \"%s\", \"standards_caveat\": %s,\n",
+                 col.config_name.c_str(), col.period_render.c_str(),
+                 col.standards_caveat ? "true" : "false");
+    std::fprintf(f, "     \"cells\": [\n");
+    for (std::size_t j = 0; j < col.cells.size(); ++j) {
+      const FeasibilityCell& c = col.cells[j];
+      std::fprintf(f,
+                   "      {\"mode\": \"%s\", \"worst_ms\": %s, \"best_ms\": %s, "
+                   "\"verdict\": \"%s\", \"paper\": \"%s\"}%s\n",
+                   to_string(c.mode), fmt3(c.worst_case.worst.ms()).c_str(),
+                   fmt3(c.worst_case.best.ms()).c_str(), c.meets_deadline ? "ok" : "x",
+                   paper_verdict(c.mode, col.config_name),
+                   j + 1 < col.cells.size() ? "," : "");
+    }
+    std::fprintf(f, "     ]}%s\n", i + 1 < table.columns.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"matches_paper\": %s\n}\n", all_match ? "true" : "false");
+  std::fclose(f);
+  return true;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchOptions opt = parse_bench_options(argc, argv);
   std::printf("== Table 1: 0.5 ms one-way deadline, minimal configurations (u=2, 0.25 ms slots) ==\n\n");
 
   const Table1 table = build_table1();
@@ -59,5 +93,9 @@ int main() {
   }
   std::printf("%s\n", out.render().c_str());
   std::printf("reproduction %s the paper's Table 1\n", all_match ? "MATCHES" : "DIFFERS FROM");
+  if (opt.json && !write_json(*opt.json, table, all_match)) {
+    std::fprintf(stderr, "bench_table1: cannot write %s\n", opt.json->c_str());
+    return 1;
+  }
   return all_match ? 0 : 1;
 }

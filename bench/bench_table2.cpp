@@ -9,6 +9,7 @@
 // also dumps every packet's waterfall and the registry's histograms.
 
 #include <cstdio>
+#include <iterator>
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
@@ -75,6 +76,30 @@ int main(int argc, char** argv) {
   std::printf("note: RLC-q emerges from slot geometry + scheduler lead, not from a draw.\n");
   std::printf("reproduction %s Table 2 (calibrated rows within 15%%, RLC-q within 35%%)\n",
               ok ? "MATCHES" : "DIFFERS FROM");
+
+  // Fixed-layout JSON (all numbers through fmt2): byte-stable for a given
+  // build, diffed bit for bit by the golden-file regression test.
+  if (opt.json) {
+    std::FILE* f = std::fopen(opt.json->c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "bench_table2: cannot write %s\n", opt.json->c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"bench_table2\",\n  \"packets\": %d,\n  \"seed\": %llu,\n",
+                 kPackets, static_cast<unsigned long long>(opt.seed));
+    std::fprintf(f, "  \"layers\": [\n");
+    for (std::size_t i = 0; i < std::size(rows); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(f,
+                   "    {\"layer\": \"%s\", \"mean_us\": %s, \"std_us\": %s, \"n\": %llu, "
+                   "\"paper_mean_us\": %s, \"paper_std_us\": %s}%s\n",
+                   r.name, fmt2(r.stats.mean()).c_str(), fmt2(r.stats.stddev()).c_str(),
+                   static_cast<unsigned long long>(r.stats.count()), fmt2(r.paper_mean).c_str(),
+                   fmt2(r.paper_std).c_str(), i + 1 < std::size(rows) ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"matches_paper\": %s\n}\n", ok ? "true" : "false");
+    std::fclose(f);
+  }
 
   if (opt.trace && !write_chrome_trace(*opt.trace, sys.tracer().spans(), "bench_table2")) {
     std::fprintf(stderr, "bench_table2: cannot write %s\n", opt.trace->c_str());

@@ -1,0 +1,34 @@
+#include "core/cell.hpp"
+
+#include "sim/runner.hpp"
+
+namespace u5g {
+
+std::uint64_t cell_seed(std::uint64_t root, int index) {
+  return index == 0 ? root : replication_seed(root, static_cast<std::uint64_t>(index));
+}
+
+StackConfig per_cell_config(const StackConfig& base, int index) {
+  StackConfig c = base;
+  c.seed = cell_seed(base.seed, index);
+  return c;
+}
+
+Cell::Cell(const StackConfig& base, int index)
+    : index_(index), sys_(std::make_unique<E2eSystem>(per_cell_config(base, index))) {}
+
+void Cell::queue_uplink(Nanos at, int ue) { sys_->send_uplink_at(at, ue); }
+
+void Cell::queue_downlink(Nanos at, int ue) { sys_->send_downlink_at(at, ue); }
+
+void Cell::advance_to(Nanos to) { sys_->run_until(to); }
+
+std::uint64_t Cell::inflight_packets() const {
+  return sys_->packets_started() - sys_->packets_delivered();
+}
+
+void Cell::set_neighbor_load(double equivalent_ues) {
+  sys_->set_external_load_ues(equivalent_ues);
+}
+
+}  // namespace u5g

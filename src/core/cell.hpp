@@ -1,0 +1,63 @@
+#pragma once
+// One cell of the sharded scale-out engine (sim/sharded.hpp).
+//
+// A Cell is a shard: it owns a complete E2eSystem — its own Simulator, gNB
+// stack, and num_ues UE stacks — built from a per-cell StackConfig whose
+// seed is drawn from a SplitMix64 stream rooted at the engine-level seed.
+// Cell 0 keeps the root seed, so a 1-cell sharded run reproduces a plain
+// E2eSystem bit for bit. Cells share no mutable state while a
+// synchronisation window executes; all cross-cell interaction goes through
+// the engine at slot barriers (queue_* / inflight_packets / set_neighbor_load).
+
+#include <cstdint>
+#include <memory>
+
+#include "core/e2e_system.hpp"
+#include "core/stack_config.hpp"
+
+namespace u5g {
+
+/// Seed of cell `index` in the engine's SplitMix64 stream. Cell 0 keeps the
+/// root seed (single-cell parity with a plain E2eSystem); the rest get
+/// replication-style stream seeds, mirroring the PR-1 runner's contract.
+[[nodiscard]] std::uint64_t cell_seed(std::uint64_t root, int index);
+
+/// Cell `index`'s StackConfig: the engine-level base with the per-cell seed.
+[[nodiscard]] StackConfig per_cell_config(const StackConfig& base, int index);
+
+class Cell {
+ public:
+  Cell(const StackConfig& base, int index);
+
+  [[nodiscard]] int index() const { return index_; }
+  [[nodiscard]] E2eSystem& system() { return *sys_; }
+  [[nodiscard]] const E2eSystem& system() const { return *sys_; }
+
+  // -- Traffic (engine thread, between windows) -----------------------------
+
+  /// Register an uplink packet at UE `ue`'s application layer at `at`.
+  void queue_uplink(Nanos at, int ue);
+  /// Hand a backhaul packet from the UPF shard to this (serving) cell: it
+  /// enters the cell's core-network ingress at `at`.
+  void queue_downlink(Nanos at, int ue);
+
+  // -- Shard execution (worker thread, inside a window) ---------------------
+
+  /// Advance the cell's simulator to exactly `to` (one synchronisation
+  /// window; the engine guarantees no cross-cell input changes before then).
+  void advance_to(Nanos to);
+
+  // -- Cross-shard signals (engine thread, at the barrier) ------------------
+
+  /// Packets started but not yet delivered — the load signal neighbours see.
+  [[nodiscard]] std::uint64_t inflight_packets() const;
+  /// Apply the aggregate neighbour load (in equivalent extra UEs) exchanged
+  /// at the barrier; effective from the next window's processing draws.
+  void set_neighbor_load(double equivalent_ues);
+
+ private:
+  int index_;
+  std::unique_ptr<E2eSystem> sys_;
+};
+
+}  // namespace u5g

@@ -106,6 +106,10 @@ struct E2eSystem::Impl {
   RunningStats rlc_q_stats_us;
   std::uint64_t missed_grants = 0;
 
+  // In-flight accounting for the scale-out load signal (sim/sharded.hpp).
+  std::uint64_t packets_started = 0;
+  std::uint64_t packets_delivered = 0;
+
   // -- Observability --------------------------------------------------------
   // The tracer records spans iff enabled; every hook starts with one
   // predicted branch. Metric handles are resolved once here and stay null
@@ -233,6 +237,7 @@ struct E2eSystem::Impl {
       tracer.open(ue.ul_trace, sim.now());
     }
     if (m.ul_sent != nullptr) m.ul_sent->inc();
+    ++packets_started;
     // UE application creates the packet; APP down to RLC.
     ue_traverse(ue, {Layer::APP, Layer::SDAP, Layer::PDCP, Layer::RLC}, ue.ul_trace,
                 [this, ridx, &ue](Nanos end) {
@@ -513,6 +518,7 @@ struct E2eSystem::Impl {
       tracer.open(ue.dl_trace, sim.now());
     }
     if (m.dl_sent != nullptr) m.dl_sent->inc();
+    ++packets_started;
     ByteBuffer pkt = make_payload(r.seq, cfg.payload_bytes);
     const Nanos upf_latency = upf.process_downlink(pkt, ue.teid());
     tracer.span_for(ue.dl_trace, "core network (UPF + backhaul)", LatencyCategory::Protocol,
@@ -701,6 +707,7 @@ struct E2eSystem::Impl {
     r.delivered = sim.now();
     r.ok = true;
     r.harq_transmissions = attempt;
+    ++packets_delivered;
     tracer.close(seq, sim.now());
     if (m.delivered != nullptr) {
       m.delivered->inc();
@@ -720,6 +727,7 @@ E2eSystem::E2eSystem(StackConfig cfg) {
 E2eSystem::~E2eSystem() = default;
 
 Simulator& E2eSystem::simulator() { return impl_->sim; }
+const Simulator& E2eSystem::simulator() const { return impl_->sim; }
 
 Tracer& E2eSystem::tracer() { return impl_->tracer; }
 const Tracer& E2eSystem::tracer() const { return impl_->tracer; }
@@ -753,6 +761,15 @@ void E2eSystem::send_downlink_at(Nanos at, int ue) {
 }
 
 void E2eSystem::run_until(Nanos until) { impl_->sim.run_until(until); }
+
+std::uint64_t E2eSystem::packets_started() const { return impl_->packets_started; }
+std::uint64_t E2eSystem::packets_delivered() const { return impl_->packets_delivered; }
+
+void E2eSystem::set_external_load_ues(double extra_ues) {
+  impl_->gnb.compute.proc.set_scale(
+      1.0 + impl_->cfg.gnb_load_factor_per_ue *
+                (static_cast<double>(impl_->ues.size() - 1) + extra_ues));
+}
 
 SampleSet E2eSystem::latency_samples_us(Direction dir) const {
   SampleSet s;

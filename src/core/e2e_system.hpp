@@ -64,6 +64,7 @@ class E2eSystem {
 
   [[nodiscard]] const std::vector<PacketRecord>& records() const { return records_; }
   [[nodiscard]] Simulator& simulator();
+  [[nodiscard]] const Simulator& simulator() const;
 
   // -- Observability --------------------------------------------------------
 
@@ -86,6 +87,19 @@ class E2eSystem {
   /// Delivered fraction within `deadline` — the reliability figure of §6.
   [[nodiscard]] double reliability_at(Direction dir, Nanos deadline) const;
   [[nodiscard]] std::uint64_t radio_deadline_misses() const { return radio_deadline_misses_; }
+
+  // -- Scale-out hooks (sim/sharded.hpp) ------------------------------------
+
+  /// Packets whose injection event has fired / whose delivery completed.
+  /// `started - delivered` is the cell's in-flight load, the signal shards
+  /// exchange at slot boundaries.
+  [[nodiscard]] std::uint64_t packets_started() const;
+  [[nodiscard]] std::uint64_t packets_delivered() const;
+  /// Load the gNB's processing as if `extra_ues` additional UEs were
+  /// attached (on top of `num_ues`), through `gnb_load_factor_per_ue`. The
+  /// sharded engine applies the neighbour-cell load signal here at every
+  /// slot barrier.
+  void set_external_load_ues(double extra_ues);
 
  private:
   struct Impl;

@@ -60,8 +60,4 @@ StackConfig StackConfig::urllc_design(std::uint64_t seed) {
   return c;
 }
 
-StackConfig StackConfig::testbed(bool grant_free, std::uint64_t seed) {
-  return grant_free ? testbed_grant_free(seed) : testbed_grant_based(seed);
-}
-
 }  // namespace u5g

@@ -37,6 +37,15 @@ struct StackConfig {
   /// §7 observation via `gnb_load_factor_per_ue`.
   int num_ues = 1;
   double gnb_load_factor_per_ue = 0.08;  ///< gNB proc scale = 1 + f*(num_ues-1)
+  /// Number of cells for the sharded scale-out engine (sim/sharded.hpp).
+  /// A plain E2eSystem always models one cell; the engine builds one shard
+  /// per cell from this config (cell 0 keeps `seed`, the rest get splitmix64
+  /// stream seeds).
+  int num_cells = 1;
+  /// Inter-cell load coupling for the sharded engine: each in-flight packet
+  /// at a neighbouring cell loads this cell's gNB like `coupling` extra
+  /// attached UEs (through `gnb_load_factor_per_ue`). 0 = isolated cells.
+  double intercell_load_coupling = 0.0;
   ProcessingProfile gnb_proc = ProcessingProfile::gnb_i7();
   ProcessingProfile ue_proc = ProcessingProfile::ue_modem();
   RadioHeadParams gnb_radio = RadioHeadParams::usrp_b210_usb2();
@@ -74,12 +83,6 @@ struct StackConfig {
   /// The §5 viable design: µ2 DM pattern, grant-free, PCIe radio, RT kernel,
   /// tight margin — the configuration the paper argues can meet URLLC.
   static StackConfig urllc_design(std::uint64_t seed = 1);
-
-  // -- Deprecated spellings --------------------------------------------------
-
-  /// Boolean-trap factory kept as a thin forwarder.
-  [[deprecated("use StackConfig::testbed_grant_based / testbed_grant_free")]]
-  static StackConfig testbed(bool grant_free, std::uint64_t seed = 1);
 };
 
 /// Historic name of the aggregate config, kept as an alias.

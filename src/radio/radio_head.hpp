@@ -23,6 +23,7 @@ struct RadioHeadParams {
   SampleRate sample_rate{};
   Nanos dac_adc_latency{25'000};   ///< RF chain group delay + FPGA buffering
   Nanos rx_chain_latency{30'000};  ///< ADC + host transfer setup on receive
+  Nanos rx_base{20'000};           ///< host-side receive buffering floor
 
   /// The §7 testbed radio: USRP B210 on USB. Total TX-side latency lands
   /// near the paper's "around 500 µs" for slot-sized buffers at 0.5 ms slots.
@@ -33,6 +34,12 @@ struct RadioHeadParams {
   /// PCIe-attached SDR with a hardware-timed pipeline.
   static RadioHeadParams pcie_sdr() {
     return {BusParams::pcie(), SampleRate{}, Nanos{8'000}, Nanos{10'000}};
+  }
+  /// Idealised zero-latency radio path (differential analytic-vs-sim tests):
+  /// free bus, no RF chain delay, no receive floor.
+  static RadioHeadParams ideal() {
+    return {BusParams{"free", Nanos::zero(), Nanos::zero(), JitterParams::none()}, SampleRate{},
+            Nanos::zero(), Nanos::zero(), Nanos::zero()};
   }
 };
 
@@ -59,7 +66,7 @@ class RadioHead {
   /// samples in host memory.
   [[nodiscard]] Nanos rx_delivery_latency(std::int64_t n_samples) {
     return bus_.submit_latency(n_samples) - bus_.params().base_overhead + p_.rx_chain_latency +
-           rx_base_;
+           p_.rx_base;
   }
 
   /// Deterministic one-way radio latency for accounting/margins.
@@ -73,7 +80,6 @@ class RadioHead {
  private:
   RadioHeadParams p_;
   BusModel bus_;
-  Nanos rx_base_{20'000};  ///< host-side receive buffering floor
 };
 
 }  // namespace u5g

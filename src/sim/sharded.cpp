@@ -1,0 +1,126 @@
+#include "sim/sharded.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "sim/runner.hpp"
+
+namespace u5g {
+
+ShardedEngine::ShardedEngine(const StackConfig& base, ShardedOptions opt) : base_(base) {
+  if (!base_.duplex) throw std::invalid_argument{"ShardedEngine: duplex config required"};
+  if (base_.num_cells < 1) throw std::invalid_argument{"ShardedEngine: num_cells must be >= 1"};
+  slot_ = base_.duplex->numerology().slot_duration();
+  cells_.reserve(static_cast<std::size_t>(base_.num_cells));
+  for (int i = 0; i < base_.num_cells; ++i) {
+    cells_.push_back(std::make_unique<Cell>(base_, i));
+  }
+  const int threads = std::min(resolve_threads(opt.threads), base_.num_cells);
+  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+ShardedEngine::~ShardedEngine() = default;
+
+int ShardedEngine::threads() const { return pool_ ? pool_->size() : 1; }
+
+void ShardedEngine::send_uplink_at(Nanos at, int cell, int ue) {
+  if (cell < 0 || cell >= num_cells()) throw std::out_of_range{"ShardedEngine: cell index"};
+  if (at < now_) throw std::invalid_argument{"ShardedEngine: injection behind the frontier"};
+  cells_[static_cast<std::size_t>(cell)]->queue_uplink(at, ue);
+}
+
+void ShardedEngine::send_downlink_at(Nanos at, int cell, int ue) {
+  if (cell < 0 || cell >= num_cells()) throw std::out_of_range{"ShardedEngine: cell index"};
+  if (at < now_) throw std::invalid_argument{"ShardedEngine: injection behind the frontier"};
+  cells_[static_cast<std::size_t>(cell)]->queue_downlink(at, ue);
+}
+
+void ShardedEngine::advance_all(Nanos to) {
+  if (pool_) {
+    for (auto& c : cells_) {
+      Cell* cell = c.get();
+      pool_->submit([cell, to] { cell->advance_to(to); });
+    }
+    pool_->wait_idle();
+  } else {
+    for (auto& c : cells_) c->advance_to(to);
+  }
+}
+
+void ShardedEngine::exchange_load() {
+  // Gathered and applied in fixed cell order on the engine thread, so the
+  // (floating-point) aggregate is identical for every worker thread count.
+  double total = 0.0;
+  std::vector<double> load(cells_.size());
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    load[i] = static_cast<double>(cells_[i]->inflight_packets());
+    total += load[i];
+  }
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    cells_[i]->set_neighbor_load(base_.intercell_load_coupling * (total - load[i]));
+  }
+}
+
+void ShardedEngine::run_until(Nanos until) {
+  if (until <= now_) return;
+  if (base_.intercell_load_coupling == 0.0 || cells_.size() == 1) {
+    // No cross-cell dependency: the lookahead is infinite, one window.
+    advance_all(until);
+    now_ = until;
+    return;
+  }
+  while (now_ < until) {
+    const Nanos end = std::min(now_ + slot_, until);
+    advance_all(end);
+    exchange_load();
+    now_ = end;
+  }
+}
+
+SampleSet ShardedEngine::latency_samples_us(Direction dir) const {
+  SampleSet merged;
+  for (const auto& c : cells_) merged.merge(c->system().latency_samples_us(dir));
+  return merged;
+}
+
+MetricsRegistry ShardedEngine::merged_metrics() const {
+  MetricsRegistry merged;
+  for (const auto& c : cells_) merged.merge(c->system().metrics());
+  return merged;
+}
+
+std::uint64_t ShardedEngine::packets_started() const {
+  std::uint64_t n = 0;
+  for (const auto& c : cells_) n += c->system().packets_started();
+  return n;
+}
+
+std::uint64_t ShardedEngine::packets_delivered() const {
+  std::uint64_t n = 0;
+  for (const auto& c : cells_) n += c->system().packets_delivered();
+  return n;
+}
+
+std::uint64_t ShardedEngine::radio_deadline_misses() const {
+  std::uint64_t n = 0;
+  for (const auto& c : cells_) n += c->system().radio_deadline_misses();
+  return n;
+}
+
+std::uint64_t ShardedEngine::events_fired() const {
+  std::uint64_t n = 0;
+  for (const auto& c : cells_) n += c->system().simulator().events_fired();
+  return n;
+}
+
+std::vector<TraceLane> ShardedEngine::trace_lanes() const {
+  std::vector<TraceLane> lanes;
+  lanes.reserve(cells_.size());
+  for (const auto& c : cells_) {
+    lanes.push_back(TraceLane{"cell " + std::to_string(c->index()), c->system().tracer().spans()});
+  }
+  return lanes;
+}
+
+}  // namespace u5g

@@ -1,0 +1,100 @@
+#pragma once
+// Conservative parallel discrete-event engine: N cells as independent shards.
+//
+// The paper models one gNB and one UE; ROADMAP's north star is a
+// production-scale simulator. PR 1 parallelised *across* Monte-Carlo
+// replications — this engine parallelises *within* one scenario by running
+// `StackConfig::num_cells` complete cells (core/cell.hpp) concurrently on
+// the PR-1 ThreadPool.
+//
+// Synchronisation model (classic conservative lookahead):
+//   * Cross-cell effects are slot-aligned, so the lookahead — the horizon a
+//     shard may simulate without seeing new cross-shard input — is one slot.
+//     run_until() executes slot-sized windows: fan every cell's
+//     `advance_to(window_end)` across the pool, `wait_idle()` as the
+//     barrier, then exchange cross-shard signals on the engine thread.
+//   * Cross-shard channels: backhaul packets enter at the engine's UPF
+//     ingress and are routed to the serving cell (send_downlink_at), and an
+//     inter-cell load signal — each cell's in-flight packet count — scales
+//     neighbours' gNB processing through `intercell_load_coupling` ×
+//     `gnb_load_factor_per_ue`, applied at each barrier.
+//   * With `intercell_load_coupling == 0` the cells are provably
+//     independent, the lookahead is infinite, and the whole span runs as
+//     one window.
+//
+// Determinism contract (matching sim/runner.hpp): cell i always receives
+// `cell_seed(seed, i)`; shards share no mutable state inside a window
+// (BufferPool free-lists are thread-local and migration-safe); all
+// cross-shard exchange and every merge happens on the engine thread in
+// fixed cell order. Merged results are therefore bitwise-identical across
+// worker thread counts for the same config and injection sequence.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/cell.hpp"
+#include "trace/chrome_trace.hpp"
+
+namespace u5g {
+
+struct ShardedOptions {
+  int threads = 0;  ///< worker count; 0 = hardware concurrency
+};
+
+class ShardedEngine {
+ public:
+  /// Builds `base.num_cells` shards from `base` (per-cell seeds from the
+  /// SplitMix64 stream rooted at `base.seed`; cell 0 keeps the root seed).
+  explicit ShardedEngine(const StackConfig& base, ShardedOptions opt = {});
+  ~ShardedEngine();
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  [[nodiscard]] int num_cells() const { return static_cast<int>(cells_.size()); }
+  [[nodiscard]] int threads() const;
+  /// The synchronisation lookahead: one slot of the base duplex config.
+  [[nodiscard]] Nanos window() const { return slot_; }
+
+  [[nodiscard]] Cell& cell(int i) { return *cells_.at(static_cast<std::size_t>(i)); }
+  [[nodiscard]] const Cell& cell(int i) const { return *cells_.at(static_cast<std::size_t>(i)); }
+
+  // -- Traffic --------------------------------------------------------------
+  // Injection is only legal at or after the synchronisation frontier (the
+  // last completed barrier); anything earlier would violate the lookahead
+  // guarantee already handed to the shards.
+
+  /// Uplink packet at cell `cell`'s UE `ue` application layer at `at`.
+  void send_uplink_at(Nanos at, int cell, int ue = 0);
+  /// Downlink packet entering the (shared) UPF at `at`, routed over the
+  /// backhaul cross-shard channel to serving cell `cell` for UE `ue`.
+  void send_downlink_at(Nanos at, int cell, int ue = 0);
+
+  /// Advance every shard to exactly `until`, one lookahead window at a time.
+  void run_until(Nanos until);
+
+  // -- Deterministic merged views (fixed cell order) ------------------------
+
+  [[nodiscard]] SampleSet latency_samples_us(Direction dir) const;
+  [[nodiscard]] MetricsRegistry merged_metrics() const;
+  [[nodiscard]] std::uint64_t packets_started() const;
+  [[nodiscard]] std::uint64_t packets_delivered() const;
+  [[nodiscard]] std::uint64_t radio_deadline_misses() const;
+  [[nodiscard]] std::uint64_t events_fired() const;
+  /// One Chrome-trace lane per cell ("cell 0", "cell 1", ...); span views
+  /// stay valid while the engine lives.
+  [[nodiscard]] std::vector<TraceLane> trace_lanes() const;
+
+ private:
+  void advance_all(Nanos to);
+  void exchange_load();
+
+  StackConfig base_;
+  Nanos slot_;
+  std::vector<std::unique_ptr<Cell>> cells_;
+  std::unique_ptr<ThreadPool> pool_;  ///< null when running single-threaded
+  Nanos now_{};                       ///< synchronisation frontier
+};
+
+}  // namespace u5g

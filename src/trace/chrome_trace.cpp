@@ -20,23 +20,33 @@ void append_us(std::string& out, Nanos t) {
   out += buf;
 }
 
-}  // namespace
+void begin_record(std::string& out, bool& first) {
+  if (!first) out += ",\n";
+  first = false;
+}
 
-std::string chrome_trace_json(std::span<const TraceSpan> spans, std::string_view process_name) {
-  std::string out = "{\"traceEvents\":[\n";
-  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{\"name\":\"";
+/// Emit one lane's metadata + complete events at process id `pid`.
+void append_lane(std::string& out, bool& first, int pid, std::string_view process_name,
+                 std::span<const TraceSpan> spans) {
+  const std::string pid_str = std::to_string(pid);
+  begin_record(out, first);
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" + pid_str +
+         ",\"tid\":0,\"args\":{\"name\":\"";
   append_escaped(out, process_name);
   out += "\"}}";
 
   std::set<std::int32_t> seqs;
   for (const TraceSpan& s : spans) seqs.insert(s.seq);
   for (std::int32_t seq : seqs) {
-    out += ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" + std::to_string(seq);
+    begin_record(out, first);
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" + pid_str +
+           ",\"tid\":" + std::to_string(seq);
     out += ",\"args\":{\"name\":\"packet " + std::to_string(seq) + "\"}}";
   }
 
   for (const TraceSpan& s : spans) {
-    out += ",\n{\"name\":\"";
+    begin_record(out, first);
+    out += "{\"name\":\"";
     append_escaped(out, s.name);
     out += "\",\"cat\":\"";
     append_escaped(out, to_string(s.category));
@@ -44,19 +54,43 @@ std::string chrome_trace_json(std::span<const TraceSpan> spans, std::string_view
     append_us(out, s.start);
     out += ",\"dur\":";
     append_us(out, s.duration());
-    out += ",\"pid\":0,\"tid\":" + std::to_string(s.seq) + "}";
+    out += ",\"pid\":" + pid_str + ",\"tid\":" + std::to_string(s.seq) + "}";
+  }
+}
+
+std::string render(std::span<const TraceLane> lanes) {
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    append_lane(out, first, static_cast<int>(i), lanes[i].name, lanes[i].spans);
   }
   out += "\n],\"displayTimeUnit\":\"ms\"}\n";
   return out;
 }
 
-bool write_chrome_trace(const std::string& path, std::span<const TraceSpan> spans,
-                        std::string_view process_name) {
+bool write_file(const std::string& path, const std::string& body) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
-  const std::string body = chrome_trace_json(spans, process_name);
   const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
   return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(std::span<const TraceSpan> spans, std::string_view process_name) {
+  const TraceLane lane{std::string(process_name), spans};
+  return render({&lane, 1});
+}
+
+std::string chrome_trace_json(std::span<const TraceLane> lanes) { return render(lanes); }
+
+bool write_chrome_trace(const std::string& path, std::span<const TraceSpan> spans,
+                        std::string_view process_name) {
+  return write_file(path, chrome_trace_json(spans, process_name));
+}
+
+bool write_chrome_trace(const std::string& path, std::span<const TraceLane> lanes) {
+  return write_file(path, chrome_trace_json(lanes));
 }
 
 }  // namespace u5g

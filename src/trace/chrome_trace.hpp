@@ -3,21 +3,36 @@
 // consumed by chrome://tracing and Perfetto. Each traced packet becomes a
 // "thread" (tid = packet seq) so its spans line up as one waterfall row;
 // complete events ("ph":"X") carry microsecond timestamps/durations and the
-// LatencyCategory as the event category.
+// LatencyCategory as the event category. Multi-cell runs export one lane
+// (= one trace "process") per cell, so shards stack as separate swimlane
+// groups in the viewer.
 
 #include <span>
 #include <string>
+#include <vector>
 
 #include "trace/trace.hpp"
 
 namespace u5g {
 
-/// Serialise spans to a chrome://tracing JSON document.
+/// One export lane: a named span stream rendered as its own trace process.
+struct TraceLane {
+  std::string name;
+  std::span<const TraceSpan> spans;
+};
+
+/// Serialise spans to a chrome://tracing JSON document (single lane, pid 0).
 [[nodiscard]] std::string chrome_trace_json(std::span<const TraceSpan> spans,
                                             std::string_view process_name = "u5g");
+
+/// Serialise one lane per entry (pid = lane index, process_name = lane name).
+[[nodiscard]] std::string chrome_trace_json(std::span<const TraceLane> lanes);
 
 /// Write chrome_trace_json(spans) to `path`. Returns false on I/O failure.
 bool write_chrome_trace(const std::string& path, std::span<const TraceSpan> spans,
                         std::string_view process_name = "u5g");
+
+/// Write the multi-lane document to `path`. Returns false on I/O failure.
+bool write_chrome_trace(const std::string& path, std::span<const TraceLane> lanes);
 
 }  // namespace u5g

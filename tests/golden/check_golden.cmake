@@ -1,0 +1,38 @@
+# Golden-file regression harness: regenerate a bench's fixed-seed JSON and
+# diff it bit for bit against the checked-in golden.
+#
+#   cmake -DBENCH=<exe> -DARGS=<semicolon-list> -DOUT=<file> -DGOLDEN=<file>
+#         -P check_golden.cmake
+#
+# The bench is run as `<exe> <args...> --json <out>`; any numeric drift in
+# Table 1 verdicts / worst cases or Table 2 per-layer means changes the
+# bytes and fails the diff. To bless an intentional change, copy OUT over
+# GOLDEN (the failure message prints the exact command).
+
+foreach(var BENCH OUT GOLDEN)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "check_golden.cmake: -D${var}=... is required")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${BENCH} ${ARGS} --json ${OUT}
+  RESULT_VARIABLE run_rv
+  OUTPUT_VARIABLE run_out
+  ERROR_VARIABLE run_out)
+if(NOT run_rv EQUAL 0)
+  message(FATAL_ERROR "golden: ${BENCH} exited with ${run_rv}\n${run_out}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT} ${GOLDEN}
+  RESULT_VARIABLE diff_rv)
+if(NOT diff_rv EQUAL 0)
+  file(READ ${OUT} got)
+  file(READ ${GOLDEN} want)
+  message(FATAL_ERROR
+      "golden: ${OUT} differs from ${GOLDEN}\n"
+      "--- expected ---\n${want}\n--- got ---\n${got}\n"
+      "If the change is intentional, bless it with:\n"
+      "  cp ${OUT} ${GOLDEN}")
+endif()

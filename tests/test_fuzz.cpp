@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "mac/mac_pdu.hpp"
+#include "pdcp/cipher.hpp"
 #include "pdcp/pdcp_entity.hpp"
 #include "rlc/rlc_entity.hpp"
 #include "sim/simulator.hpp"
@@ -361,6 +363,165 @@ TEST(FuzzPdcp, RandomReorderAndDuplicatesDeliverInOrderOnce) {
     EXPECT_EQ(delivered.size(), static_cast<std::size_t>(n)) << "seed " << seed;
     EXPECT_TRUE(std::is_sorted(delivered.begin(), delivered.end())) << "seed " << seed;
     EXPECT_TRUE(std::adjacent_find(delivered.begin(), delivered.end()) == delivered.end());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MAC PDU multiplexing: randomized round trips (including subPDU counts past
+// MacSubPdus' inline capacity, forcing the SmallVec heap spill) and
+// truncated / bit-flipped transport blocks, which must be rejected cleanly
+// or parsed into well-formed subPDUs — never read out of bounds (the
+// ASan/UBSan CI job runs this test).
+
+TEST(FuzzMacPdu, RandomRoundTripsSurviveHeapSpill) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    Rng rng(seed ^ 0x3AC0ULL);
+    // 1..10 subPDUs: > 4 exercises the SmallVec<MacSubPdu, 4> heap path.
+    const int n = 1 + static_cast<int>(rng.uniform_int(10));
+    MacSubPdus in;
+    std::size_t needed = 0;
+    for (int i = 0; i < n; ++i) {
+      const std::size_t len = 1 + rng.uniform_int(64);
+      MacSubPdu sp;
+      sp.lcid = rng.bernoulli(0.2) ? Lcid::ShortBsr : Lcid::Drb1;
+      sp.payload = random_payload(rng, len);
+      needed += kMacSubheaderBytes + len;
+      in.push_back(std::move(sp));
+    }
+    // Random padding slack; occasionally large enough for a padding subPDU.
+    const std::size_t tb_bytes = needed + rng.uniform_int(rng.bernoulli(0.3) ? 40 : 3);
+
+    ByteBuffer tb = build_mac_pdu({in.data(), in.size()}, tb_bytes);
+    ASSERT_EQ(tb_bytes, tb.size()) << "seed " << seed;
+    auto out = parse_mac_pdu(std::move(tb));
+    ASSERT_TRUE(out.has_value()) << "seed " << seed;
+    ASSERT_EQ(in.size(), out->size()) << "seed " << seed;
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      EXPECT_EQ(in[i].lcid, (*out)[i].lcid) << "seed " << seed;
+      ASSERT_EQ(in[i].payload.size(), (*out)[i].payload.size()) << "seed " << seed;
+      EXPECT_TRUE(std::equal(in[i].payload.bytes().begin(), in[i].payload.bytes().end(),
+                             (*out)[i].payload.bytes().begin()))
+          << "seed " << seed;
+    }
+    // A block too small for the subPDUs must throw, not truncate silently.
+    if (needed > 1) {
+      EXPECT_THROW((void)build_mac_pdu({in.data(), in.size()}, needed - 1), std::length_error);
+    }
+  }
+}
+
+TEST(FuzzMacPdu, TruncatedAndCorruptBlocksRejectCleanly) {
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    Rng rng(seed ^ 0xBADC0DEULL);
+    const int n = 1 + static_cast<int>(rng.uniform_int(8));
+    MacSubPdus in;
+    std::size_t needed = 0;
+    for (int i = 0; i < n; ++i) {
+      const std::size_t len = 1 + rng.uniform_int(48);
+      in.push_back(MacSubPdu{Lcid::Drb1, random_payload(rng, len)});
+      needed += kMacSubheaderBytes + len;
+    }
+    const ByteBuffer original = build_mac_pdu({in.data(), in.size()}, needed);
+
+    // Truncation: drop a random tail. The parser must either reject the
+    // block or deliver a prefix of the original subPDUs — and never a
+    // payload that was not fully present.
+    {
+      const std::size_t cut = rng.uniform_int(original.size());
+      ByteBuffer truncated(cut);
+      std::copy_n(original.bytes().begin(), cut, truncated.bytes().begin());
+      auto out = parse_mac_pdu(std::move(truncated));
+      if (out) {
+        ASSERT_LE(out->size(), in.size()) << "seed " << seed;
+        for (std::size_t i = 0; i < out->size(); ++i) {
+          EXPECT_EQ(in[i].payload.size(), (*out)[i].payload.size()) << "seed " << seed;
+        }
+      }
+    }
+    // Bit flips: corrupt random header/payload bytes. Any outcome is legal
+    // except a crash or an out-of-bounds payload.
+    {
+      ByteBuffer corrupt = original;
+      const int flips = 1 + static_cast<int>(rng.uniform_int(4));
+      for (int f = 0; f < flips; ++f) {
+        const std::size_t pos = rng.uniform_int(corrupt.size());
+        corrupt.bytes()[pos] ^= static_cast<std::uint8_t>(1u << rng.uniform_int(8));
+      }
+      auto out = parse_mac_pdu(std::move(corrupt));
+      if (out) {
+        std::size_t total = 0;
+        for (const MacSubPdu& sp : *out) total += kMacSubheaderBytes + sp.payload.size();
+        EXPECT_LE(total, original.size()) << "seed " << seed;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PDCP cipher + integrity: the word-wise production kernels against their
+// byte-wise oracles (the pre-optimisation implementations, kept verbatim in
+// test_datapath.cpp and re-stated here), over random lengths, alignments
+// and security-context parameters.
+
+std::uint64_t ref_keystream_word(const CipherContext& ctx, std::uint32_t count,
+                                 std::uint64_t block) {
+  std::uint64_t x = ctx.key ^ (static_cast<std::uint64_t>(count) << 32) ^
+                    (static_cast<std::uint64_t>(ctx.bearer) << 8) ^ (ctx.downlink ? 1u : 0u);
+  x += (block + 1) * 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+void ref_apply_keystream(std::span<std::uint8_t> data, const CipherContext& ctx,
+                         std::uint32_t count) {
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const std::uint64_t word = ref_keystream_word(ctx, count, i / 8);
+    data[i] ^= static_cast<std::uint8_t>(word >> ((i % 8) * 8));
+  }
+}
+
+std::uint32_t ref_integrity_tag(std::span<const std::uint8_t> data, const CipherContext& ctx,
+                                std::uint32_t count) {
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ ctx.key ^ count ^
+                    (static_cast<std::uint64_t>(ctx.bearer) << 40) ^ (ctx.downlink ? 2u : 0u);
+  for (const std::uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return static_cast<std::uint32_t>(h ^ (h >> 32));
+}
+
+TEST(FuzzCipher, WordWiseKernelsMatchByteWiseOracles) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    Rng rng(seed ^ 0xC1F3ULL);
+    const std::size_t len = rng.uniform_int(320);  // 0..319: every word tail
+    const CipherContext ctx{.key = rng.next_u64(),
+                            .bearer = static_cast<std::uint32_t>(rng.uniform_int(33)),
+                            .downlink = rng.bernoulli(0.5)};
+    const auto count = static_cast<std::uint32_t>(rng.next_u64());
+
+    std::vector<std::uint8_t> plain(len);
+    for (auto& b : plain) b = static_cast<std::uint8_t>(rng.next_u64());
+
+    // Cipher: production vs oracle, plus the involution property.
+    std::vector<std::uint8_t> prod = plain;
+    std::vector<std::uint8_t> ref = plain;
+    apply_keystream(prod, ctx, count);
+    ref_apply_keystream(ref, ctx, count);
+    EXPECT_EQ(ref, prod) << "seed " << seed << " len " << len;
+    apply_keystream(prod, ctx, count);
+    EXPECT_EQ(plain, prod) << "seed " << seed << " len " << len;
+
+    // Integrity: production vs oracle; any single bit flip must change it.
+    const std::uint32_t tag = integrity_tag(plain, ctx, count);
+    EXPECT_EQ(ref_integrity_tag(plain, ctx, count), tag) << "seed " << seed;
+    if (len > 0) {
+      std::vector<std::uint8_t> flipped = plain;
+      const std::size_t pos = rng.uniform_int(len);
+      flipped[pos] ^= static_cast<std::uint8_t>(1u << rng.uniform_int(8));
+      EXPECT_NE(tag, integrity_tag(flipped, ctx, count)) << "seed " << seed;
+    }
   }
 }
 
