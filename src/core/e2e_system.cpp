@@ -84,13 +84,23 @@ struct E2eSystem::Impl {
     struct RetxTb {
       ByteBuffer tb;
       int attempt;
+      int stranded_retries = 0;  ///< opportunity-search retries while queued
     };
+    /// Lost TBs awaiting retransmission, oldest first (ordered by first
+    /// transmission): a re-lost TB re-enters at the *front* so an old
+    /// packet's recovery never queues behind newer ones.
     std::deque<RetxTb> retx_queue;
 
     [[nodiscard]] std::uint32_t teid() const {
       return kTeidBase + static_cast<std::uint32_t>(index);
     }
   };
+
+  /// Re-arm attempts for a TB with no retransmission opportunity before it
+  /// is dropped as stranded (satellite of the HARQ loss-recovery fix): one
+  /// retry per slot, so the cap bounds the search to ~kStrandedRetryCap
+  /// slots of scheduler starvation.
+  static constexpr int kStrandedRetryCap = 64;
 
   StackConfig cfg;
   E2eSystem& owner;
@@ -100,11 +110,15 @@ struct E2eSystem::Impl {
   std::vector<std::unique_ptr<UeCtx>> ues;
   Upf upf;
   MacScheduler sched;
+  FaultInjector faults;
+  Nanos slot_dur;
 
   // Per-layer gNB processing stats across all traversals (Table 2).
   std::array<RunningStats, 6> gnb_layer_stats;
   RunningStats rlc_q_stats_us;
   std::uint64_t missed_grants = 0;
+  std::uint64_t harq_dropped = 0;   ///< TBs dropped: HARQ budget exhausted
+  std::uint64_t stranded_drops = 0; ///< TBs/SDUs dropped: no opportunity in cap
 
   // In-flight accounting for the scale-out load signal (sim/sharded.hpp).
   std::uint64_t packets_started = 0;
@@ -121,8 +135,15 @@ struct E2eSystem::Impl {
     Counter* dl_sent = nullptr;
     Counter* delivered = nullptr;
     Counter* harq_retx = nullptr;
+    Counter* harq_drop = nullptr;
+    Counter* stranded = nullptr;
     Counter* radio_miss = nullptr;
     Counter* missed_grant = nullptr;
+    Counter* f_burst = nullptr;
+    Counter* f_storm = nullptr;
+    Counter* f_stall = nullptr;
+    Counter* f_upf_drop = nullptr;
+    Counter* f_upf_delay = nullptr;
     LatencyHistogram* ul_latency = nullptr;
     LatencyHistogram* dl_latency = nullptr;
     LatencyHistogram* rlc_q = nullptr;
@@ -136,7 +157,12 @@ struct E2eSystem::Impl {
         gnb(cfg.gnb_proc, cfg.gnb_radio, cfg.phy, cfg.rlc_mode, rng.fork(),
             std::max(cfg.num_ues, 1)),
         upf(cfg.upf, rng.fork()),
-        sched(*cfg.duplex, cfg.sched) {
+        sched(*cfg.duplex, cfg.sched),
+        // Fault streams derive from (seed, scenario index) via a dedicated
+        // seeder — NOT from `rng` — so configuring faults perturbs no
+        // existing draw sequence (golden-file equivalence when disabled).
+        faults(cfg.faults, cfg.seed),
+        slot_dur(cfg.duplex->numerology().slot_duration()) {
     const FiveQi qos = urllc_five_qi();
     gnb.compute.sdap.configure_flow(kQfi, BearerId{1}, qos);
     for (int i = 0; i < std::max(cfg.num_ues, 1); ++i) {
@@ -156,8 +182,15 @@ struct E2eSystem::Impl {
       m.dl_sent = &metrics.counter("packets.dl_sent");
       m.delivered = &metrics.counter("packets.delivered");
       m.harq_retx = &metrics.counter("packets.harq_retransmissions");
+      m.harq_drop = &metrics.counter("harq.dropped_tbs");
+      m.stranded = &metrics.counter("harq.stranded_drops");
       m.radio_miss = &metrics.counter("radio.deadline_misses");
       m.missed_grant = &metrics.counter("mac.missed_grants");
+      m.f_burst = &metrics.counter("fault.burst_losses");
+      m.f_storm = &metrics.counter("fault.os_jitter_storms");
+      m.f_stall = &metrics.counter("fault.radio_bus_stalls");
+      m.f_upf_drop = &metrics.counter("fault.upf_drops");
+      m.f_upf_delay = &metrics.counter("fault.upf_delays");
       m.ul_latency = &metrics.histogram("latency.ul_ns");
       m.dl_latency = &metrics.histogram("latency.dl_ns");
       m.rlc_q = &metrics.histogram("gnb.rlc_queue_wait_ns");
@@ -177,9 +210,91 @@ struct E2eSystem::Impl {
   std::optional<MmWaveBlockage> blockage;
 
   bool channel_lost() {
-    if (cfg.channel_loss > 0.0 && rng.bernoulli(cfg.channel_loss)) return true;
+    if (faults.models_channel_loss()) {
+      // A BurstLoss scenario replaces the i.i.d. knob: the Gilbert–Elliott
+      // chain (own stream) decides, and i.i.d. is its degenerate
+      // single-state case (GilbertElliott::Params::iid).
+      if (faults.channel_lost(sim.now())) {
+        if (m.f_burst != nullptr) m.f_burst->inc();
+        return true;
+      }
+    } else if (cfg.channel_loss > 0.0 && rng.bernoulli(cfg.channel_loss)) {
+      return true;
+    }
     if (blockage && !blockage->transmit_ok(sim.now())) return true;
     return false;
+  }
+
+  // -- Fault-injection hooks -------------------------------------------------
+  // All zero-cost when `cfg.faults` is empty: one `empty()` branch per hook.
+
+  /// Added radio-bus transfer latency at `now`. When `trace_span` (the RX
+  /// chain sites, where spans are duration-based) the stall is emitted as
+  /// its own Radio span; the TX `prepare_tx` sites fold it into `ready_at`
+  /// instead, where it erodes the §4 margin and can miss the slot.
+  Nanos fault_bus_stall(std::int32_t tseq, bool trace_span) {
+    if (faults.empty()) return Nanos::zero();
+    const Nanos stall = faults.bus_stall(sim.now());
+    if (stall > Nanos::zero()) {
+      if (m.f_stall != nullptr) m.f_stall->inc();
+      if (trace_span) {
+        tracer.span_for(tseq, "fault: radio-bus stall", LatencyCategory::Radio, stall);
+      }
+    }
+    return stall;
+  }
+
+  /// Wrap a traversal continuation so an active OS-jitter storm adds one
+  /// extra (traced) delay between the layer chain and `done` — the Fig 5
+  /// preemption spike landing mid-traversal.
+  template <typename Done>
+  auto storm_wrapped(std::int32_t tseq, Done done) {
+    return [this, tseq, done = std::move(done)](Nanos end) mutable {
+      const Nanos storm = faults.empty() ? Nanos::zero() : faults.processing_jitter(sim.now());
+      if (storm <= Nanos::zero()) {
+        done(end);
+        return;
+      }
+      if (m.f_storm != nullptr) m.f_storm->inc();
+      tracer.span_for(tseq, "fault: OS-jitter storm", LatencyCategory::Processing, storm);
+      sim.schedule_after(storm, [this, done = std::move(done)]() mutable { done(sim.now()); });
+    };
+  }
+
+  /// Account a TB whose HARQ transmission budget is exhausted. `tseq` is the
+  /// per-UE trace cursor for the affected direction; the traced packet is
+  /// abandoned (its spans stay, it never closes).
+  void drop_tb_harq(std::int32_t& tseq) {
+    ++harq_dropped;
+    if (m.harq_drop != nullptr) m.harq_drop->inc();
+    tracer.abandon(tseq);
+    tseq = -1;
+  }
+
+  /// Account a TB/SDU dropped because no opportunity appeared within the
+  /// stranded-retry cap.
+  void drop_stranded(std::int32_t& tseq) {
+    ++stranded_drops;
+    if (m.stranded != nullptr) m.stranded->inc();
+    tracer.abandon(tseq);
+    tseq = -1;
+  }
+
+  /// After an UL drop the grant cycle that carried the TB is over; without
+  /// this, `sr_pending` stayed latched and every later packet on the UE
+  /// silently starved (part of the stranded-retransmission fix). Drain any
+  /// remaining lost TBs first, then restart the access flow for backlog.
+  void resume_ul_after_drop(UeCtx& ue) {
+    if (!ue.retx_queue.empty()) {
+      retransmit_ul(ue);
+      return;
+    }
+    if (cfg.grant_free) {
+      if (ue.stack.uplink().rlc_tx.has_data()) schedule_cg_service(ue);
+    } else {
+      ue.sr_pending = false;
+      if (ue.stack.uplink().rlc_tx.has_data()) trigger_sr(ue);
+    }
   }
 
   /// PDCP t-Reordering (TS 38.323 §5.2.2.2): when a PDU is held waiting for
@@ -213,7 +328,7 @@ struct E2eSystem::Impl {
           if (ridx) rec(*ridx).gnb_layer_time[li] += dt;
           tracer.span_for(tseq, kGnbLayerSpan[li], LatencyCategory::Processing, dt);
         },
-        std::move(done));
+        storm_wrapped(tseq, std::move(done)));
   }
 
   template <typename Done>
@@ -224,7 +339,7 @@ struct E2eSystem::Impl {
           tracer.span_for(tseq, kUeLayerSpan[static_cast<std::size_t>(l)],
                           LatencyCategory::Processing, dt);
         },
-        std::move(done));
+        storm_wrapped(tseq, std::move(done)));
   }
 
   // =========================================================================
@@ -272,7 +387,7 @@ struct E2eSystem::Impl {
       const Nanos rx = gnb.compute.radio.rx_delivery_latency(
           samples_of(gnb.compute.radio, cfg.duplex->numerology().symbol_duration()));
       tracer.span_for(ue.ul_trace, "gNB radio RX chain", LatencyCategory::Radio, rx);
-      sim.schedule_after(rx, [this, &ue] {
+      sim.schedule_after(rx + fault_bus_stall(ue.ul_trace, /*trace_span=*/true), [this, &ue] {
         gnb_traverse({Layer::PHY}, std::nullopt, ue.ul_trace, [this, &ue](Nanos aware) {
           const auto plan = sched.plan_ul_grant(ue.id, aware);
           if (!plan) {
@@ -296,7 +411,8 @@ struct E2eSystem::Impl {
       const Nanos rx = ue.stack.compute.radio.rx_delivery_latency(
           samples_of(ue.stack.compute.radio, cfg.duplex->numerology().symbol_duration()));
       tracer.span_for(ue.ul_trace, "UE radio RX chain", LatencyCategory::Radio, rx);
-      sim.schedule_after(rx, [this, &ue, grant] {
+      sim.schedule_after(rx + fault_bus_stall(ue.ul_trace, /*trace_span=*/true),
+                         [this, &ue, grant] {
         ue_traverse(ue, {Layer::PHY, Layer::MAC}, ue.ul_trace, [this, &ue, grant](Nanos decoded) {
           if (decoded > grant.tx_start) {
             // Missed the granted window (§4's interdependency hazard):
@@ -382,16 +498,22 @@ struct E2eSystem::Impl {
       sim.schedule_at(air_end + cfg.harq_feedback_delay, [this, &ue] { retransmit_ul(ue); });
       return;
     }
-    if (lost) return;  // HARQ budget exhausted: the packet is gone
+    if (lost) {
+      // HARQ budget exhausted on the first (and only) transmission.
+      drop_tb_harq(ue.ul_trace);
+      resume_ul_after_drop(ue);
+      return;
+    }
 
     tracer.span_to(ue.ul_trace, "UL data over the air", LatencyCategory::Protocol, air_end);
     sim.schedule_at(air_end, [this, &ue, tb = std::move(tb), attempt]() mutable {
       const Nanos rx = gnb.compute.radio.rx_delivery_latency(
           samples_of(gnb.compute.radio, Nanos{100'000}));
       tracer.span_for(ue.ul_trace, "gNB radio RX chain", LatencyCategory::Radio, rx);
-      sim.schedule_after(rx, [this, &ue, tb = std::move(tb), attempt]() mutable {
-        gnb_rx_ul(ue, std::move(tb), attempt);
-      });
+      sim.schedule_after(rx + fault_bus_stall(ue.ul_trace, /*trace_span=*/true),
+                         [this, &ue, tb = std::move(tb), attempt]() mutable {
+                           gnb_rx_ul(ue, std::move(tb), attempt);
+                         });
     });
   }
 
@@ -407,7 +529,24 @@ struct E2eSystem::Impl {
       const auto plan = sched.plan_ul_grant(ue.id, sim.now());
       if (plan) opportunity = plan->grant;
     }
-    if (!opportunity) return;
+    if (!opportunity) {
+      // No opportunity inside the planner's search horizon (a starved or
+      // reconfigured UL era). The TB used to sit in `retx_queue` forever,
+      // uncounted — reliability silently inflated. Re-arm one slot later;
+      // past the cap, drop it and account the loss explicitly.
+      UeCtx::RetxTb& front = ue.retx_queue.front();
+      if (++front.stranded_retries > kStrandedRetryCap) {
+        ue.retx_queue.pop_front();
+        drop_stranded(ue.ul_trace);
+        resume_ul_after_drop(ue);
+        return;
+      }
+      const Nanos again = sim.now() + slot_dur;
+      tracer.span_to(ue.ul_trace, "stranded retransmission wait", LatencyCategory::Protocol,
+                     again);
+      sim.schedule_at(again, [this, &ue] { retransmit_ul(ue); });
+      return;
+    }
     const UlGrant g = *opportunity;
     tracer.span_to(ue.ul_trace, "wait for retransmission occasion", LatencyCategory::Protocol,
                    g.tx_start);
@@ -425,20 +564,31 @@ struct E2eSystem::Impl {
       tracer.span_to(ue.ul_trace, "HARQ feedback wait", LatencyCategory::Protocol,
                      grant.tx_end + cfg.harq_feedback_delay);
       ++entry.attempt;
-      ue.retx_queue.push_back(std::move(entry));
+      entry.stranded_retries = 0;
+      // Back to the *front*: the queue is ordered by first transmission, and
+      // a push_back here would let every newer loss overtake this (oldest)
+      // packet's recovery, unboundedly delaying its delivery.
+      ue.retx_queue.push_front(std::move(entry));
       sim.schedule_at(grant.tx_end + cfg.harq_feedback_delay, [this, &ue] { retransmit_ul(ue); });
       return;
     }
-    if (lost) return;
+    if (lost) {
+      // HARQ budget exhausted on a retransmission: account it, then keep
+      // serving any other lost TBs (the early return used to orphan them).
+      drop_tb_harq(ue.ul_trace);
+      resume_ul_after_drop(ue);
+      return;
+    }
     const int attempt = entry.attempt;
     tracer.span_to(ue.ul_trace, "UL data over the air", LatencyCategory::Protocol, grant.tx_end);
     sim.schedule_at(grant.tx_end, [this, &ue, tb = std::move(entry.tb), attempt]() mutable {
       const Nanos rx = gnb.compute.radio.rx_delivery_latency(
           samples_of(gnb.compute.radio, Nanos{100'000}));
       tracer.span_for(ue.ul_trace, "gNB radio RX chain", LatencyCategory::Radio, rx);
-      sim.schedule_after(rx, [this, &ue, tb = std::move(tb), attempt]() mutable {
-        gnb_rx_ul(ue, std::move(tb), attempt);
-      });
+      sim.schedule_after(rx + fault_bus_stall(ue.ul_trace, /*trace_span=*/true),
+                         [this, &ue, tb = std::move(tb), attempt]() mutable {
+                           gnb_rx_ul(ue, std::move(tb), attempt);
+                         });
     });
     // More lost TBs pending? Chain another opportunity.
     if (!ue.retx_queue.empty()) retransmit_ul(ue);
@@ -499,10 +649,24 @@ struct E2eSystem::Impl {
       (void)gtpu_decapsulate(sdu);
       return read_seq(sdu);
     }();
+    // A UPF outage may eat the packet after the whole radio journey — the
+    // §6 point that reliability is end-to-end, not an air-interface property.
+    if (!faults.empty() && faults.upf_dropped(sim.now())) {
+      if (m.f_upf_drop != nullptr) m.f_upf_drop->inc();
+      std::int32_t t = seq;
+      if (ue.ul_trace == seq) ue.ul_trace = -1;
+      tracer.abandon(t);
+      return;
+    }
+    Nanos upf_extra{};
+    if (!faults.empty() && (upf_extra = faults.upf_extra_delay(sim.now())) > Nanos::zero()) {
+      if (m.f_upf_delay != nullptr) m.f_upf_delay->inc();
+      tracer.span_for(seq, "fault: UPF outage delay", LatencyCategory::Protocol, upf_extra);
+    }
     tracer.span_for(seq, "core network (UPF + backhaul)", LatencyCategory::Protocol,
                     upf.backhaul() + upf_latency);
     if (ue.ul_trace == seq) ue.ul_trace = -1;
-    sim.schedule_after(upf.backhaul() + upf_latency,
+    sim.schedule_after(upf.backhaul() + upf_latency + upf_extra,
                        [this, seq, attempt] { finalize(seq, attempt); });
   }
 
@@ -520,7 +684,21 @@ struct E2eSystem::Impl {
     if (m.dl_sent != nullptr) m.dl_sent->inc();
     ++packets_started;
     ByteBuffer pkt = make_payload(r.seq, cfg.payload_bytes);
-    const Nanos upf_latency = upf.process_downlink(pkt, ue.teid());
+    // DL packets meet the UPF first: an outage drops or delays them before
+    // the radio stack ever sees a byte.
+    if (!faults.empty() && faults.upf_dropped(sim.now())) {
+      if (m.f_upf_drop != nullptr) m.f_upf_drop->inc();
+      tracer.abandon(ue.dl_trace);
+      ue.dl_trace = -1;
+      return;
+    }
+    Nanos upf_extra{};
+    if (!faults.empty() && (upf_extra = faults.upf_extra_delay(sim.now())) > Nanos::zero()) {
+      if (m.f_upf_delay != nullptr) m.f_upf_delay->inc();
+      tracer.span_for(ue.dl_trace, "fault: UPF outage delay", LatencyCategory::Protocol,
+                      upf_extra);
+    }
+    const Nanos upf_latency = upf.process_downlink(pkt, ue.teid()) + upf_extra;
     tracer.span_for(ue.dl_trace, "core network (UPF + backhaul)", LatencyCategory::Protocol,
                     upf_latency + upf.backhaul());
     sim.schedule_after(upf_latency + upf.backhaul(),
@@ -551,10 +729,23 @@ struct E2eSystem::Impl {
     return sched.dl_window_capacity_bytes(symbols);
   }
 
-  void schedule_dl_service(UeCtx& ue, Nanos ready) {
+  void schedule_dl_service(UeCtx& ue, Nanos ready, int stranded_retries = 0) {
     const std::size_t tb = cfg.payload_bytes + cfg.dl_tb_slack;
     const auto plan = sched.plan_dl(ue.id, ready, tb);
-    if (!plan) return;
+    if (!plan) {
+      // DL twin of the stranded-UL fix: no assignment inside the planner's
+      // horizon (a DL-starved pattern). Re-arm one slot later; past the cap,
+      // account the head-of-line SDU as stranded and stop re-arming (the
+      // bytes stay in the RLC queue for a later explicit service call).
+      if (stranded_retries >= kStrandedRetryCap) {
+        drop_stranded(ue.dl_trace);
+        return;
+      }
+      sim.schedule_at(sim.now() + slot_dur, [this, &ue, stranded_retries] {
+        schedule_dl_service(ue, sim.now(), stranded_retries + 1);
+      });
+      return;
+    }
     const DlAssignment a = *plan;
     const Nanos pull_time = std::max(sim.now(), a.tx_start - sched.params().radio_lead);
     sim.schedule_at(pull_time, [this, &ue, a] { serve_dl(ue, a, 1); });
@@ -595,7 +786,11 @@ struct E2eSystem::Impl {
     tracer.span_for(ue.dl_trace, "gNB PHY encode", LatencyCategory::Processing, encode);
     sim.schedule_after(encode, [this, &ue, a, attempt, tb = std::move(tb)]() mutable {
       const auto n_samples = samples_of(gnb.compute.radio, a.tx_end - a.tx_start);
-      const TxPreparation prep = gnb.compute.radio.prepare_tx(sim.now(), n_samples, a.tx_start);
+      TxPreparation prep = gnb.compute.radio.prepare_tx(sim.now(), n_samples, a.tx_start);
+      // A bus stall extends the sample transfer: it erodes the §4 margin and
+      // can push the buffer past the air deadline.
+      prep.ready_at += fault_bus_stall(ue.dl_trace, /*trace_span=*/false);
+      prep.on_time = prep.ready_at <= a.tx_start;
       if (!prep.on_time) {
         // Samples missed the slot: corrupted signal (§4). Count it and treat
         // as a lost transmission — retransmit if budget remains.
@@ -603,6 +798,8 @@ struct E2eSystem::Impl {
         if (m.radio_miss != nullptr) m.radio_miss->inc();
         if (attempt < cfg.harq_max_tx) {
           requeue_dl_tb(ue, std::move(tb), prep.ready_at, attempt + 1);
+        } else {
+          drop_tb_harq(ue.dl_trace);  // budget exhausted on deadline misses
         }
         return;
       }
@@ -614,10 +811,24 @@ struct E2eSystem::Impl {
   }
 
   /// Re-plan a DL transport block whose slot was missed or lost.
-  void requeue_dl_tb(UeCtx& ue, ByteBuffer tb, Nanos ready, int attempt) {
+  void requeue_dl_tb(UeCtx& ue, ByteBuffer tb, Nanos ready, int attempt,
+                     int stranded_retries = 0) {
     const std::size_t bytes = tb.size();
     const auto plan = sched.plan_dl(ue.id, ready, bytes);
-    if (!plan) return;
+    if (!plan) {
+      // No assignment inside the planner's horizon: re-arm, then drop and
+      // account past the cap (previously the TB vanished uncounted).
+      if (stranded_retries >= kStrandedRetryCap) {
+        drop_stranded(ue.dl_trace);
+        return;
+      }
+      sim.schedule_at(sim.now() + slot_dur,
+                      [this, &ue, tb = std::move(tb), attempt, stranded_retries]() mutable {
+                        requeue_dl_tb(ue, std::move(tb), sim.now(), attempt,
+                                      stranded_retries + 1);
+                      });
+      return;
+    }
     const DlAssignment a = *plan;
     const Nanos pull_time = std::max(sim.now(), a.tx_start - sched.params().radio_lead);
     sim.schedule_at(pull_time, [this, &ue, a, attempt, tb = std::move(tb)]() mutable {
@@ -627,13 +838,16 @@ struct E2eSystem::Impl {
       tracer.span_for(ue.dl_trace, "gNB PHY encode", LatencyCategory::Processing, encode);
       sim.schedule_after(encode, [this, &ue, a, attempt, tb = std::move(tb)]() mutable {
         const auto n_samples = samples_of(gnb.compute.radio, a.tx_end - a.tx_start);
-        const TxPreparation prep =
-            gnb.compute.radio.prepare_tx(sim.now(), n_samples, a.tx_start);
+        TxPreparation prep = gnb.compute.radio.prepare_tx(sim.now(), n_samples, a.tx_start);
+        prep.ready_at += fault_bus_stall(ue.dl_trace, /*trace_span=*/false);
+        prep.on_time = prep.ready_at <= a.tx_start;
         if (!prep.on_time) {
           ++owner.radio_deadline_misses_;
           if (m.radio_miss != nullptr) m.radio_miss->inc();
           if (attempt < cfg.harq_max_tx) {
             requeue_dl_tb(ue, std::move(tb), prep.ready_at, attempt + 1);
+          } else {
+            drop_tb_harq(ue.dl_trace);
           }
           return;
         }
@@ -657,6 +871,8 @@ struct E2eSystem::Impl {
                         [this, &ue, tb = std::move(tb), attempt]() mutable {
                           requeue_dl_tb(ue, std::move(tb), sim.now(), attempt + 1);
                         });
+      } else {
+        drop_tb_harq(ue.dl_trace);  // budget exhausted
       }
       return;
     }
@@ -665,9 +881,10 @@ struct E2eSystem::Impl {
       const Nanos rx = ue.stack.compute.radio.rx_delivery_latency(
           samples_of(ue.stack.compute.radio, a.tx_end - a.tx_start));
       tracer.span_for(ue.dl_trace, "UE radio RX chain", LatencyCategory::Radio, rx);
-      sim.schedule_after(rx, [this, &ue, tb = std::move(tb), attempt]() mutable {
-        ue_rx_dl(ue, std::move(tb), attempt);
-      });
+      sim.schedule_after(rx + fault_bus_stall(ue.dl_trace, /*trace_span=*/true),
+                         [this, &ue, tb = std::move(tb), attempt]() mutable {
+                           ue_rx_dl(ue, std::move(tb), attempt);
+                         });
     });
   }
 
@@ -764,6 +981,10 @@ void E2eSystem::run_until(Nanos until) { impl_->sim.run_until(until); }
 
 std::uint64_t E2eSystem::packets_started() const { return impl_->packets_started; }
 std::uint64_t E2eSystem::packets_delivered() const { return impl_->packets_delivered; }
+
+std::uint64_t E2eSystem::harq_dropped_tbs() const { return impl_->harq_dropped; }
+std::uint64_t E2eSystem::stranded_drops() const { return impl_->stranded_drops; }
+FaultInjector::Counters E2eSystem::fault_counters() const { return impl_->faults.counters(); }
 
 void E2eSystem::set_external_load_ues(double extra_ues) {
   impl_->gnb.compute.proc.set_scale(

@@ -16,6 +16,7 @@
 #include "common/stats.hpp"
 #include "common/time.hpp"
 #include "core/stack_config.hpp"
+#include "fault/injector.hpp"
 #include "node/stack.hpp"
 #include "sim/simulator.hpp"
 #include "trace/metrics.hpp"
@@ -87,6 +88,20 @@ class E2eSystem {
   /// Delivered fraction within `deadline` — the reliability figure of §6.
   [[nodiscard]] double reliability_at(Direction dir, Nanos deadline) const;
   [[nodiscard]] std::uint64_t radio_deadline_misses() const { return radio_deadline_misses_; }
+
+  // -- Loss accounting ------------------------------------------------------
+  // Every offered packet ends in exactly one bucket: delivered, dropped on
+  // HARQ budget exhaustion, dropped stranded (no retransmission opportunity
+  // within the retry cap), or dropped by a UPF outage. Tests assert
+  // `offered == delivered + harq_dropped + stranded + upf_dropped` under
+  // 1-packet-per-TB traffic, so silent loss cannot deflate reliability.
+
+  /// TBs dropped after exhausting the HARQ transmission budget (UL and DL).
+  [[nodiscard]] std::uint64_t harq_dropped_tbs() const;
+  /// TBs/SDUs dropped after the stranded-retry cap: no opportunity found.
+  [[nodiscard]] std::uint64_t stranded_drops() const;
+  /// Injected-fault tallies (all zero when `StackConfig::faults` is empty).
+  [[nodiscard]] FaultInjector::Counters fault_counters() const;
 
   // -- Scale-out hooks (sim/sharded.hpp) ------------------------------------
 

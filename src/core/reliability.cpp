@@ -26,4 +26,15 @@ ReliabilityReport evaluate_reliability(const SampleSet& latencies_us, std::size_
   return r;
 }
 
+std::vector<NinesPoint> nines_vs_deadline(const SampleSet& latencies_us, std::size_t offered,
+                                          const std::vector<Nanos>& deadlines) {
+  std::vector<NinesPoint> curve;
+  curve.reserve(deadlines.size());
+  for (const Nanos d : deadlines) {
+    const ReliabilityReport r = evaluate_reliability(latencies_us, offered, d);
+    curve.push_back({d, r.fraction_within, r.nines});
+  }
+  return curve;
+}
+
 }  // namespace u5g

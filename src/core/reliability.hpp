@@ -5,6 +5,7 @@
 // samples into the paper's reliability statements (99.99 % / 99.999 %).
 
 #include <cstdint>
+#include <vector>
 
 #include "common/stats.hpp"
 #include "common/time.hpp"
@@ -33,5 +34,19 @@ struct ReliabilityReport {
 
 /// Number of "nines" of a reliability fraction (0.999 -> 3.0), capped at 9.
 [[nodiscard]] double reliability_nines(double fraction);
+
+/// One point of a reliability-vs-deadline curve (bench_fault's headline
+/// figure: how many nines survive as the deadline tightens).
+struct NinesPoint {
+  Nanos deadline{};
+  double fraction_within = 0.0;
+  double nines = 0.0;
+};
+
+/// Evaluate the same sample set against a ladder of deadlines. `deadlines`
+/// need not be sorted; points come back in input order.
+[[nodiscard]] std::vector<NinesPoint> nines_vs_deadline(const SampleSet& latencies_us,
+                                                        std::size_t offered,
+                                                        const std::vector<Nanos>& deadlines);
 
 }  // namespace u5g

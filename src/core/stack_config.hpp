@@ -10,8 +10,10 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "corenet/upf.hpp"
+#include "fault/scenario.hpp"
 #include "mac/configured_grant.hpp"
 #include "mac/sched_request.hpp"
 #include "mac/scheduler.hpp"
@@ -66,6 +68,14 @@ struct StackConfig {
   std::size_t payload_bytes = 64;   ///< ICMP-echo-sized
   std::size_t dl_tb_slack = 64;     ///< TB headroom over the PDU
   std::uint64_t seed = 1;
+  /// Scenario-scripted fault injection (src/fault/): Gilbert–Elliott burst
+  /// loss, OS-jitter storms, radio-bus stalls, UPF outages — each with its
+  /// own SplitMix64 stream derived from `seed`, never touching the main
+  /// simulation stream. Empty (the default) = no injector consulted; the
+  /// i.i.d. `channel_loss` path above stays bit-identical to pre-fault
+  /// builds. Configuring any BurstLoss scenario *replaces* `channel_loss`
+  /// (i.i.d. is the degenerate single-state case, GilbertElliott::Params::iid).
+  std::vector<FaultScenario> faults{};
   /// Observability: per-packet spans + metrics (off by default — one dead
   /// branch per hook on the warm path).
   TraceConfig trace{};

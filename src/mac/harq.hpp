@@ -6,6 +6,7 @@
 // this model to show the latency cliff a single retransmission causes.
 
 #include <array>
+#include <cassert>
 #include <cstdint>
 #include <optional>
 
@@ -85,10 +86,16 @@ class HarqEntity {
   std::uint64_t dropped_ = 0;
 };
 
-/// Per-transmission decode probability with soft combining: each attempt
-/// adds `combining_gain_db`, lowering the effective BLER.
+/// Effective BLER of HARQ `attempt` (1-based) with soft combining: each
+/// retransmission multiplies the residual error probability by
+/// `per_attempt_factor` — the geometric-decay abstraction of chase/IR
+/// combining gain. The default 0.1 corresponds to ~10 dB effective SNR
+/// benefit per combine on a steep BLER curve. Both `first_bler` and
+/// `per_attempt_factor` are probabilities/ratios in [0, 1].
 [[nodiscard]] inline double effective_bler(double first_bler, int attempt,
                                            double per_attempt_factor = 0.1) {
+  assert(first_bler >= 0.0 && first_bler <= 1.0);
+  assert(per_attempt_factor >= 0.0 && per_attempt_factor <= 1.0);
   double b = first_bler;
   for (int i = 1; i < attempt; ++i) b *= per_attempt_factor;
   return b;
