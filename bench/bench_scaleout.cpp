@@ -94,13 +94,14 @@ int main(int argc, char** argv) {
   std::vector<int> sweep = {1, 2, 4, 8};
   if (opt.threads > 0 && opt.threads != 8) sweep.push_back(opt.threads);
 
-  TextTable out({"threads", "wall [s]", "UE-packets/s", "speedup", "delivered", "identical"});
+  TextTable out({"threads", "wall [s]", "UE-packets/s", "events/s", "speedup", "delivered",
+                 "identical"});
   bool identical = true;
   double base_pps = 0.0;
   std::string baseline;
   struct Row {
     int threads;
-    double wall_s, pps, speedup;
+    double wall_s, pps, eps, speedup;
     std::uint64_t delivered;
     bool same;
   };
@@ -108,14 +109,15 @@ int main(int argc, char** argv) {
   for (int t : sweep) {
     const RunResult r = run_once(cfg, t, packets, period);
     const double pps = static_cast<double>(r.delivered) / r.wall_s;
+    const double eps = static_cast<double>(r.events) / r.wall_s;
     if (t == 1) {
       baseline = r.metrics_json;
       base_pps = pps;
     }
     const bool same = r.metrics_json == baseline;
     identical = identical && same;
-    rows.push_back(Row{t, r.wall_s, pps, pps / base_pps, r.delivered, same});
-    out.add_row({std::to_string(t), fmt2(r.wall_s), fmt2(pps), fmt2(pps / base_pps),
+    rows.push_back(Row{t, r.wall_s, pps, eps, pps / base_pps, r.delivered, same});
+    out.add_row({std::to_string(t), fmt2(r.wall_s), fmt2(pps), fmt2(eps), fmt2(pps / base_pps),
                  std::to_string(r.delivered), same ? "yes" : "NO"});
   }
   std::printf("%s\n", out.render().c_str());
@@ -135,8 +137,9 @@ int main(int argc, char** argv) {
       const Row& r = rows[i];
       std::fprintf(f,
                    "  {\"threads\":%d,\"wall_s\":%.6f,\"ue_packets_per_s\":%.1f,"
-                   "\"speedup\":%.3f,\"delivered\":%llu,\"identical\":%s}%s\n",
-                   r.threads, r.wall_s, r.pps, r.speedup,
+                   "\"events_per_s\":%.1f,\"speedup\":%.3f,\"delivered\":%llu,"
+                   "\"identical\":%s}%s\n",
+                   r.threads, r.wall_s, r.pps, r.eps, r.speedup,
                    static_cast<unsigned long long>(r.delivered), r.same ? "true" : "false",
                    i + 1 == rows.size() ? "" : ",");
     }

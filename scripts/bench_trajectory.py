@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Per-commit performance trajectory for the repo's throughput benches.
+
+The trajectory files (BENCH_datapath.json, BENCH_scaleout.json) hold one
+entry per recorded commit, each embedding the raw --json output of the
+bench at that commit. This script appends entries, renders the delta table
+the ROADMAP asks for, and gates CI against regressions:
+
+    bench_trajectory.py append --file BENCH_datapath.json --run out.json \
+        [--commit SHA] [--label "short description"]
+    bench_trajectory.py table  --file BENCH_datapath.json
+    bench_trajectory.py check  --file BENCH_datapath.json --run out.json \
+        [--tolerance 0.15]
+
+`check` compares the headline metrics of a fresh run against the *latest*
+committed entry and exits non-zero if any regresses by more than the
+tolerance (default 15%, sized for shared-runner noise). Improvements and
+new metrics never fail the check.
+
+Headline metrics:
+  datapath  - packets_per_sec per payload size (batched slot execution)
+  scaleout  - 1-thread ue_packets_per_s and events_per_s
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def headline_metrics(run: dict) -> dict[str, float]:
+    """Flatten a bench --json payload into {metric_name: value}."""
+    out: dict[str, float] = {}
+    bench = run.get("bench", "")
+    if bench == "datapath":
+        for row in run.get("full_stack", []):
+            out[f"pkts_per_s_{row['payload_bytes']}B"] = row["packets_per_sec"]
+    elif bench == "scaleout":
+        for row in run.get("results", []):
+            if row.get("threads") == 1:
+                out["ue_packets_per_s_1t"] = row["ue_packets_per_s"]
+                if "events_per_s" in row:
+                    out["events_per_s_1t"] = row["events_per_s"]
+    else:
+        raise SystemExit(f"bench_trajectory: unknown bench kind {bench!r}")
+    if not out:
+        raise SystemExit("bench_trajectory: no headline metrics found in run JSON")
+    return out
+
+
+def git_head() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def cmd_append(args) -> int:
+    run = load(args.run)
+    try:
+        traj = load(args.file)
+    except FileNotFoundError:
+        traj = {"bench": run.get("bench", ""), "trajectory": []}
+    entry = {
+        "commit": args.commit or git_head(),
+        "label": args.label or "",
+        "run": run,
+    }
+    traj["trajectory"].append(entry)
+    with open(args.file, "w") as f:
+        json.dump(traj, f, indent=1)
+        f.write("\n")
+    print(f"appended {entry['commit']} to {args.file} "
+          f"({len(traj['trajectory'])} entries)")
+    return 0
+
+
+def cmd_table(args) -> int:
+    traj = load(args.file)
+    entries = traj.get("trajectory", [])
+    if not entries:
+        print("(empty trajectory)")
+        return 0
+    metric_names: list[str] = []
+    per_entry = []
+    for e in entries:
+        m = headline_metrics(e["run"])
+        per_entry.append(m)
+        for k in m:
+            if k not in metric_names:
+                metric_names.append(k)
+
+    head = f"{'commit':>10} {'label':<28}" + "".join(f"{m:>22}" for m in metric_names)
+    print(head)
+    print("-" * len(head))
+    prev: dict[str, float] = {}
+    for e, m in zip(entries, per_entry):
+        cells = []
+        for name in metric_names:
+            v = m.get(name)
+            if v is None:
+                cells.append(f"{'-':>22}")
+                continue
+            if name in prev and prev[name] > 0:
+                delta = (v / prev[name] - 1.0) * 100.0
+                cells.append(f"{v:>13.0f} ({delta:+6.1f}%)")
+            else:
+                cells.append(f"{v:>22.0f}")
+        print(f"{e['commit']:>10} {e.get('label', ''):<28.28}" + "".join(cells))
+        prev.update(m)
+    return 0
+
+
+def cmd_check(args) -> int:
+    traj = load(args.file)
+    entries = traj.get("trajectory", [])
+    if not entries:
+        print("bench_trajectory: empty trajectory, nothing to check against")
+        return 1
+    base = headline_metrics(entries[-1]["run"])
+    cur = headline_metrics(load(args.run))
+    failed = False
+    for name, base_v in base.items():
+        cur_v = cur.get(name)
+        if cur_v is None:
+            print(f"  {name}: MISSING from current run")
+            failed = True
+            continue
+        ratio = cur_v / base_v if base_v > 0 else 1.0
+        floor = 1.0 - args.tolerance
+        status = "ok" if ratio >= floor else "REGRESSION"
+        print(f"  {name}: {cur_v:.0f} vs baseline {base_v:.0f} "
+              f"({(ratio - 1.0) * 100.0:+.1f}%) {status}")
+        if ratio < floor:
+            failed = True
+    if failed:
+        print(f"bench_trajectory: FAILED (tolerance {args.tolerance:.0%} "
+              f"vs {entries[-1]['commit']})")
+        return 1
+    print(f"bench_trajectory: ok (vs {entries[-1]['commit']})")
+    return 0
+
+
+def main() -> int:
+    p = argparse.ArgumentParser(description=__doc__,
+                                formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = p.add_subparsers(dest="cmd", required=True)
+
+    ap = sub.add_parser("append", help="append a bench run to the trajectory")
+    ap.add_argument("--file", required=True, help="trajectory file (BENCH_*.json)")
+    ap.add_argument("--run", required=True, help="bench --json output to record")
+    ap.add_argument("--commit", default=None, help="commit id (default: git HEAD)")
+    ap.add_argument("--label", default=None, help="short description of the commit")
+    ap.set_defaults(fn=cmd_append)
+
+    tp = sub.add_parser("table", help="print the per-commit delta table")
+    tp.add_argument("--file", required=True)
+    tp.set_defaults(fn=cmd_table)
+
+    cp = sub.add_parser("check", help="fail if a fresh run regresses vs the latest entry")
+    cp.add_argument("--file", required=True)
+    cp.add_argument("--run", required=True)
+    cp.add_argument("--tolerance", type=float, default=0.15,
+                    help="allowed fractional regression (default 0.15)")
+    cp.set_defaults(fn=cmd_check)
+
+    args = p.parse_args()
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

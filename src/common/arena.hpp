@@ -1,0 +1,132 @@
+#pragma once
+// Per-cell bump arena for slot-scoped scratch memory.
+//
+// Batched slot execution needs short-lived arrays — cipher job descriptors,
+// per-batch SDU pointer lists, staging room for subPDU walks — whose
+// lifetime is exactly one slot. A freelist pool is overkill for that
+// pattern: nothing survives the slot, so individual frees are wasted work.
+// The arena carves slabs from the thread's `BufferPool` (layering under the
+// existing pool rather than beside it), hands out pointer-bump allocations,
+// and recycles *everything* with one `epoch_reset()` at the slot barrier —
+// the reset is two integer stores, and warm epochs reuse the already-carved
+// slabs so a batched slot touches the heap zero times.
+//
+// Exhaustion fallback: a request larger than one slab is served by a
+// dedicated BufferPool block (which itself falls back to the heap above its
+// largest class) and returned to the pool at the next epoch reset, so
+// oversized one-offs work without growing the slab list.
+//
+// Not thread-safe; one arena per cell, used only on the thread running that
+// cell's slot — the same ownership discipline as BufferPool::local().
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "common/buffer_pool.hpp"
+
+namespace u5g {
+
+class Arena {
+ public:
+  /// Slab granularity: big enough that a slot's scratch fits in one or two
+  /// slabs, small enough that an idle cell pins little memory.
+  static constexpr std::size_t kSlabBytes = 64 * 1024;
+
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  ~Arena() {
+    epoch_reset();
+    for (BufferPool::Block* s : slabs_) pool().release(s);
+  }
+
+  /// `size` bytes aligned to `align` (a power of two), valid until the next
+  /// epoch_reset(). Zero-size requests are allowed and return an aligned
+  /// pointer into the current slab.
+  [[nodiscard]] void* allocate(std::size_t size, std::size_t align = alignof(std::max_align_t)) {
+    stats_.bytes_served += size;
+    if (size + align > kSlabBytes) {
+      // Exhaustion fallback: too big to bump, borrow a dedicated block,
+      // over-sized by `align` so the pointer can be aligned within it.
+      BufferPool::Block* b = pool().acquire(size + align);
+      oversize_.push_back(b);
+      ++stats_.oversize;
+      return align_up(b->data(), align);
+    }
+    // Align the absolute address, not the offset: a slab's payload starts
+    // sizeof(Block) past the allocation, so offset alignment alone would
+    // under-align any request stricter than the header size.
+    for (;;) {
+      if (cur_ < slabs_.size()) {
+        std::uint8_t* p = align_up(slabs_[cur_]->data() + off_, align);
+        const auto off = static_cast<std::size_t>(p - slabs_[cur_]->data());
+        if (off + size <= kSlabBytes) {
+          off_ = off + size;
+          return p;
+        }
+      }
+      if (cur_ + 1 < slabs_.size()) {
+        ++cur_;
+      } else {
+        slabs_.push_back(pool().acquire(kSlabBytes));
+        cur_ = slabs_.size() - 1;
+        ++stats_.slab_acquires;
+      }
+      off_ = 0;
+    }
+  }
+
+  /// Uninitialised storage for `n` objects of trivially-destructible `T`.
+  /// The arena never runs destructors — epoch_reset() just forgets.
+  template <typename T>
+  [[nodiscard]] T* allocate_array(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is reclaimed without destructor calls");
+    return static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// End of slot: rewind to the first slab (retaining all slabs for the
+  /// next epoch) and return oversize blocks to the pool.
+  void epoch_reset() {
+    cur_ = 0;
+    off_ = 0;
+    ++stats_.epochs;
+    for (BufferPool::Block* b : oversize_) pool().release(b);
+    oversize_.clear();
+  }
+
+  /// Bytes the arena can still serve this epoch without touching the pool.
+  [[nodiscard]] std::size_t warm_capacity() const { return slabs_.size() * kSlabBytes; }
+
+  struct Stats {
+    std::uint64_t epochs = 0;         ///< epoch_reset() calls
+    std::uint64_t slab_acquires = 0;  ///< slabs carved from the pool (cold)
+    std::uint64_t oversize = 0;       ///< fallback allocations > kSlabBytes
+    std::uint64_t bytes_served = 0;   ///< cumulative bytes handed out
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  [[nodiscard]] static std::uint8_t* align_up(std::uint8_t* p, std::size_t align) {
+    const auto v = reinterpret_cast<std::uintptr_t>(p);
+    return p + ((align - (v & (align - 1))) & (align - 1));
+  }
+
+  /// Bound lazily so the arena draws slabs from the pool of the thread that
+  /// actually runs the cell, not the thread that constructed it.
+  [[nodiscard]] BufferPool& pool() {
+    if (pool_ == nullptr) pool_ = &BufferPool::local();
+    return *pool_;
+  }
+
+  BufferPool* pool_ = nullptr;
+  std::vector<BufferPool::Block*> slabs_;
+  std::vector<BufferPool::Block*> oversize_;
+  std::size_t cur_ = 0;   ///< index of the slab being bumped
+  std::size_t off_ = 0;   ///< bump offset within slabs_[cur_]
+  Stats stats_;
+};
+
+}  // namespace u5g

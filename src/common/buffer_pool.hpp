@@ -14,10 +14,13 @@
 // migrates across threads simply recycles into the destination thread's
 // pool — safe, just not the steady-state pattern.
 
+#include <atomic>
 #include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <new>
+#include <vector>
 
 namespace u5g {
 
@@ -28,6 +31,7 @@ class BufferPool {
   struct Block {
     std::uint32_t capacity = 0;  ///< usable bytes following the header
     std::int8_t cls = -1;        ///< size-class index; -1 = unpooled (huge)
+    std::uint16_t owner = 0;     ///< id of the pool that acquired this block
     Block* next = nullptr;       ///< freelist link while recycled
     [[nodiscard]] std::uint8_t* data() {
       return reinterpret_cast<std::uint8_t*>(this) + sizeof(Block);
@@ -41,10 +45,23 @@ class BufferPool {
   static constexpr std::size_t kMinCapacity = 256;
   static constexpr std::size_t kMaxPooledCapacity = std::size_t{1} << 20;
 
-  BufferPool() = default;
+  BufferPool() {
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mu);
+    r.pools.push_back(this);
+  }
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
   ~BufferPool() {
+    {
+      // Fold this pool's traffic into the retired tallies so global_stats()
+      // stays exact across thread (and pool) lifetimes.
+      Registry& r = registry();
+      const std::lock_guard<std::mutex> lock(r.mu);
+      r.retired_acquires += acq_.load(std::memory_order_relaxed);
+      r.retired_releases += rel_.load(std::memory_order_relaxed);
+      std::erase(r.pools, this);
+    }
     for (Block*& head : free_) {
       while (head != nullptr) {
         Block* b = head;
@@ -62,17 +79,21 @@ class BufferPool {
       Block* b = free_[static_cast<std::size_t>(cls)];
       free_[static_cast<std::size_t>(cls)] = b->next;
       b->next = nullptr;
+      b->owner = id_;
       ++stats_.reuses;
       ++stats_.outstanding;
+      bump(acq_);
       return b;
     }
     const std::size_t cap = cls >= 0 ? class_capacity(cls) : capacity;
     auto* b = static_cast<Block*>(::operator new(sizeof(Block) + cap));
     b->capacity = static_cast<std::uint32_t>(cap);
     b->cls = static_cast<std::int8_t>(cls);
+    b->owner = id_;
     b->next = nullptr;
     ++stats_.heap_allocations;
     ++stats_.outstanding;
+    bump(acq_);
     return b;
   }
 
@@ -80,10 +101,18 @@ class BufferPool {
   void release(Block* b) {
     if (b == nullptr) return;
     ++stats_.releases;
-    // A block acquired on another thread releases here without ever having
-    // incremented this pool's `outstanding`; guard so migration cannot wrap
-    // the counter below zero.
-    if (stats_.outstanding > 0) --stats_.outstanding;
+    // Blocks are stamped with the acquiring pool at acquire time, so a
+    // migrated block decrements nobody: the source pool keeps counting it
+    // as outstanding (it never came home) and this pool records a foreign
+    // release. Per-pool `outstanding` therefore never underflows, and the
+    // migration-exact live count is global_stats(), merged on read from
+    // the process-wide acquire/release counters.
+    if (b->owner == id_) {
+      --stats_.outstanding;
+    } else {
+      ++stats_.foreign_releases;
+    }
+    bump(rel_);
     if (b->cls < 0) {
       ::operator delete(b);
       return;
@@ -117,17 +146,42 @@ class BufferPool {
     stats_.releases = releases;
   }
 
-  /// Per-pool counters. These are exact only while blocks are released on
-  /// the thread that acquired them (the steady-state pattern); a block that
-  /// migrates across threads counts as outstanding on the source pool and
-  /// as a release on the destination pool, skewing both.
+  /// Per-pool counters. `outstanding` counts blocks this pool acquired that
+  /// have not been released back *to this pool*: a block that migrates to
+  /// another thread stays in the source pool's count and shows up as a
+  /// `foreign_releases` tick on the destination, so neither counter can
+  /// wrap. The migration-exact live count is global_stats().
   struct Stats {
     std::uint64_t heap_allocations = 0;  ///< blocks carved from operator new
     std::uint64_t reuses = 0;            ///< acquires served by a freelist
     std::uint64_t releases = 0;          ///< blocks returned to the pool
-    std::uint64_t outstanding = 0;       ///< live blocks not in a freelist
+    std::uint64_t outstanding = 0;       ///< own live blocks not released here
+    std::uint64_t foreign_releases = 0;  ///< blocks another pool acquired
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Process-wide view, merged on read: each pool keeps its own acquire and
+  /// release tallies (written only by the thread running that pool, as plain
+  /// relaxed stores — no locked read-modify-write on the hot path), and the
+  /// reader sums them across the registry. Exact even when buffers migrate
+  /// across threads: a migrated block is one acquire on its source pool and
+  /// one release on its destination, so the sums still pair up.
+  struct GlobalStats {
+    std::uint64_t acquires = 0;
+    std::uint64_t releases = 0;
+    std::int64_t outstanding = 0;  ///< acquires - releases, process-wide
+  };
+  [[nodiscard]] static GlobalStats global_stats() {
+    Registry& reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mu);
+    std::uint64_t a = reg.retired_acquires;
+    std::uint64_t r = reg.retired_releases;
+    for (const BufferPool* p : reg.pools) {
+      a += p->acq_.load(std::memory_order_relaxed);
+      r += p->rel_.load(std::memory_order_relaxed);
+    }
+    return GlobalStats{a, r, static_cast<std::int64_t>(a - r)};
+  }
 
   /// The calling thread's pool. ByteBuffer routes all backing-store
   /// management through this; entities never pass pools explicitly.
@@ -151,8 +205,36 @@ class BufferPool {
     return std::size_t{1} << (cls + kMinClassBits);
   }
 
+  /// Live pools plus the folded-in traffic of destroyed ones. Leaked on
+  /// purpose: thread_local pools die after function-local statics during
+  /// teardown, so the registry must never be destroyed before them.
+  struct Registry {
+    std::mutex mu;
+    std::vector<BufferPool*> pools;
+    std::uint64_t retired_acquires = 0;
+    std::uint64_t retired_releases = 0;
+  };
+  static Registry& registry() {
+    static Registry* r = new Registry;
+    return *r;
+  }
+
+  /// Owner-thread increment: a relaxed load/store pair, not an atomic RMW —
+  /// only this pool's thread writes, global_stats() merely reads.
+  static void bump(std::atomic<std::uint64_t>& c) {
+    c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+  }
+
+  static std::uint16_t next_pool_id() {
+    static std::atomic<std::uint16_t> v{0};
+    return static_cast<std::uint16_t>(v.fetch_add(1, std::memory_order_relaxed) + 1);
+  }
+
+  const std::uint16_t id_ = next_pool_id();
   Block* free_[kClasses] = {};
   Stats stats_;
+  std::atomic<std::uint64_t> acq_{0};  ///< all acquires, owner-thread written
+  std::atomic<std::uint64_t> rel_{0};  ///< all releases, owner-thread written
 };
 
 }  // namespace u5g

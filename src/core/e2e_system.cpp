@@ -9,6 +9,7 @@
 #include "common/taxonomy.hpp"
 #include "mac/bsr.hpp"
 #include "mac/mac_pdu.hpp"
+#include "mac/ue_pool.hpp"
 #include "node/pipeline.hpp"
 #include "phy/transport_block.hpp"
 #include "tdd/opportunity.hpp"
@@ -50,7 +51,7 @@ struct E2eSystem::Impl {
   /// gNB's chain of the same index), SR state, configured-grant schedule,
   /// and HARQ retransmission buffer.
   struct UeCtx {
-    UeCtx(int idx, const StackConfig& cfg, Rng rng)
+    UeCtx(int idx, const StackConfig& cfg, Rng rng, UeMacPool& pool)
         : index(idx),
           id(static_cast<std::uint32_t>(idx + 1)),
           stack(cfg.ue_proc, cfg.ue_radio, cfg.phy, cfg.rlc_mode, rng.fork(), 1,
@@ -64,22 +65,35 @@ struct E2eSystem::Impl {
                  ? cfg.cg.with_offset(cfg.cg.offset +
                                       cfg.duplex->numerology().symbol_duration() *
                                           (cfg.cg.tx_symbols * idx))
-                 : cfg.cg) {}
+                 : cfg.cg),
+          sr_pending(pool.sr_pending(static_cast<std::size_t>(idx))),
+          cg_scheduled(pool.cg_scheduled(static_cast<std::size_t>(idx))),
+          ul_reorder_armed(pool.ul_reorder_armed(static_cast<std::size_t>(idx))),
+          dl_reorder_armed(pool.dl_reorder_armed(static_cast<std::size_t>(idx))),
+          ul_trace(pool.ul_trace(static_cast<std::size_t>(idx))),
+          dl_trace(pool.dl_trace(static_cast<std::size_t>(idx))),
+          retx_depth(pool.retx_depth(static_cast<std::size_t>(idx))) {}
 
     int index;
     UeId id;
     NodeStack stack;
     SrProcedure sr;
     ConfiguredGrant cg;
-    bool sr_pending = false;
-    bool cg_scheduled = false;
-    bool ul_reorder_armed = false;  ///< gNB-side t-Reordering for this UE's UL
-    bool dl_reorder_armed = false;  ///< UE-side t-Reordering for DL
+    // MAC-side scalar state lives in the cell's UeMacPool (struct-of-arrays);
+    // these references keep the event-driven call sites reading and writing
+    // the same lvalues they always did while batch sweeps scan the pool's
+    // contiguous rows directly.
+    bool& sr_pending;
+    bool& cg_scheduled;
+    bool& ul_reorder_armed;  ///< gNB-side t-Reordering for this UE's UL
+    bool& dl_reorder_armed;  ///< UE-side t-Reordering for DL
     /// Tracing follows the most recently injected packet per UE and
     /// direction (-1 = none); overlapping packets on one UE attribute
     /// best-effort to the newest, the tiling invariant still holds.
-    std::int32_t ul_trace = -1;
-    std::int32_t dl_trace = -1;
+    std::int32_t& ul_trace;
+    std::int32_t& dl_trace;
+    /// Pool mirror of retx_queue.size(); every queue mutation updates it.
+    std::uint32_t& retx_depth;
 
     struct RetxTb {
       ByteBuffer tb;
@@ -107,6 +121,11 @@ struct E2eSystem::Impl {
   Simulator sim;
   Rng rng;
   NodeStack gnb;
+  /// Struct-of-arrays home of the per-UE MAC scalars; sized once in the
+  /// ctor before any UeCtx binds references into its rows.
+  UeMacPool mac_pool;
+  /// Slot-scoped scratch; epoch-reset at every run_until() barrier.
+  Arena arena;
   std::vector<std::unique_ptr<UeCtx>> ues;
   Upf upf;
   MacScheduler sched;
@@ -165,8 +184,9 @@ struct E2eSystem::Impl {
         slot_dur(cfg.duplex->numerology().slot_duration()) {
     const FiveQi qos = urllc_five_qi();
     gnb.compute.sdap.configure_flow(kQfi, BearerId{1}, qos);
+    mac_pool.resize(static_cast<std::size_t>(std::max(cfg.num_ues, 1)));
     for (int i = 0; i < std::max(cfg.num_ues, 1); ++i) {
-      ues.push_back(std::make_unique<UeCtx>(i, cfg, rng.fork()));
+      ues.push_back(std::make_unique<UeCtx>(i, cfg, rng.fork(), mac_pool));
       ues.back()->stack.compute.sdap.configure_flow(kQfi, BearerId{1}, qos);
       upf.bind_session(ues.back()->teid(), ues.back()->id.value());
     }
@@ -495,6 +515,7 @@ struct E2eSystem::Impl {
       tracer.span_to(ue.ul_trace, "HARQ feedback wait", LatencyCategory::Protocol,
                      air_end + cfg.harq_feedback_delay);
       ue.retx_queue.push_back(UeCtx::RetxTb{std::move(tb), attempt + 1});
+      ue.retx_depth = static_cast<std::uint32_t>(ue.retx_queue.size());
       sim.schedule_at(air_end + cfg.harq_feedback_delay, [this, &ue] { retransmit_ul(ue); });
       return;
     }
@@ -537,6 +558,7 @@ struct E2eSystem::Impl {
       UeCtx::RetxTb& front = ue.retx_queue.front();
       if (++front.stranded_retries > kStrandedRetryCap) {
         ue.retx_queue.pop_front();
+        ue.retx_depth = static_cast<std::uint32_t>(ue.retx_queue.size());
         drop_stranded(ue.ul_trace);
         resume_ul_after_drop(ue);
         return;
@@ -557,6 +579,7 @@ struct E2eSystem::Impl {
     if (ue.retx_queue.empty()) return;
     UeCtx::RetxTb entry = std::move(ue.retx_queue.front());
     ue.retx_queue.pop_front();
+    ue.retx_depth = static_cast<std::uint32_t>(ue.retx_queue.size());
     const bool lost = channel_lost();
     if (lost && entry.attempt < cfg.harq_max_tx) {
       tracer.span_to(ue.ul_trace, "UL data over the air (lost)", LatencyCategory::Protocol,
@@ -569,6 +592,7 @@ struct E2eSystem::Impl {
       // a push_back here would let every newer loss overtake this (oldest)
       // packet's recovery, unboundedly delaying its delivery.
       ue.retx_queue.push_front(std::move(entry));
+      ue.retx_depth = static_cast<std::uint32_t>(ue.retx_queue.size());
       sim.schedule_at(grant.tx_end + cfg.harq_feedback_delay, [this, &ue] { retransmit_ul(ue); });
       return;
     }
@@ -977,13 +1001,30 @@ void E2eSystem::send_downlink_at(Nanos at, int ue) {
   impl_->sim.schedule_at(at, [this, idx] { impl_->start_downlink(idx); });
 }
 
-void E2eSystem::run_until(Nanos until) { impl_->sim.run_until(until); }
+void E2eSystem::run_until(Nanos until) {
+  impl_->sim.run_until(until);
+  // Slot barrier: the window's scratch is dead, recycle it in O(1).
+  impl_->arena.epoch_reset();
+}
+
+Arena& E2eSystem::slot_arena() { return impl_->arena; }
 
 std::uint64_t E2eSystem::packets_started() const { return impl_->packets_started; }
 std::uint64_t E2eSystem::packets_delivered() const { return impl_->packets_delivered; }
 
 std::uint64_t E2eSystem::harq_dropped_tbs() const { return impl_->harq_dropped; }
 std::uint64_t E2eSystem::stranded_drops() const { return impl_->stranded_drops; }
+
+E2eSystem::MacBacklog E2eSystem::mac_backlog() const {
+  MacBacklog b;
+  b.sr_pending = UeMacPool::count_set(impl_->mac_pool.sr_pending_row());
+  b.cg_armed = UeMacPool::count_set(impl_->mac_pool.cg_scheduled_row());
+  impl_->mac_pool.for_each_retx([&](std::size_t, std::uint32_t depth) {
+    ++b.retx_ues;
+    b.retx_tbs += depth;
+  });
+  return b;
+}
 FaultInjector::Counters E2eSystem::fault_counters() const { return impl_->faults.counters(); }
 
 void E2eSystem::set_external_load_ues(double extra_ues) {

@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/stats.hpp"
 #include "common/time.hpp"
 #include "core/stack_config.hpp"
@@ -102,6 +103,23 @@ class E2eSystem {
   [[nodiscard]] std::uint64_t stranded_drops() const;
   /// Injected-fault tallies (all zero when `StackConfig::faults` is empty).
   [[nodiscard]] FaultInjector::Counters fault_counters() const;
+
+  /// Cell-wide MAC backlog, tallied by word-at-a-time scans over the
+  /// struct-of-arrays UE pool (mac/ue_pool.hpp) rather than a walk over the
+  /// per-UE contexts.
+  struct MacBacklog {
+    std::size_t sr_pending = 0;    ///< UEs with a scheduling request latched
+    std::size_t cg_armed = 0;      ///< UEs with a configured-grant service queued
+    std::size_t retx_ues = 0;      ///< UEs with HARQ retransmissions pending
+    std::size_t retx_tbs = 0;      ///< total queued retransmission TBs
+  };
+  [[nodiscard]] MacBacklog mac_backlog() const;
+
+  /// Slot-scoped scratch arena for this cell. Everything allocated from it
+  /// dies at the next slot barrier: run_until() epoch-resets it after the
+  /// window drains, so batch drivers (and the sharded engine, which advances
+  /// cells in slot windows) get warm, heap-free scratch every slot.
+  [[nodiscard]] Arena& slot_arena();
 
   // -- Scale-out hooks (sim/sharded.hpp) ------------------------------------
 

@@ -1,0 +1,131 @@
+#pragma once
+// Struct-of-arrays pool of per-UE MAC-side state for one cell.
+//
+// The per-slot control loops — "any UE with an SR latched?", "which UEs have
+// HARQ retransmissions queued?" — used to chase that state through one
+// heap-allocated UeCtx per UE. This pool keeps each field in its own
+// contiguous array sized to the cell's UE count, so those questions become
+// word-at-a-time scans over dense memory instead of pointer walks: eight
+// UEs' flags per 64-bit load, popcount for tallies, countr_zero to find the
+// set members, no data-dependent branches in the scan body.
+//
+// The per-UE context objects bind *references* into these rows, so the
+// event-driven datapath reads and writes exactly the same lvalues it always
+// did (`ue.sr_pending = true`) while batch consumers scan the rows directly.
+// Row addresses are stable after construction: a cell's UE population is
+// fixed, so resize() happens once, before any reference is taken.
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace u5g {
+
+class UeMacPool {
+ public:
+  explicit UeMacPool(std::size_t n = 0) { resize(n); }
+
+  /// Size the pool and reset every field to its idle value. Must not be
+  /// called once UeCtx references are bound — rows would reallocate.
+  void resize(std::size_t n) {
+    n_ = n;
+    sr_pending_ = std::make_unique<bool[]>(n);      // zero == false
+    cg_scheduled_ = std::make_unique<bool[]>(n);
+    ul_reorder_armed_ = std::make_unique<bool[]>(n);
+    dl_reorder_armed_ = std::make_unique<bool[]>(n);
+    ul_trace_.assign(n, -1);
+    dl_trace_.assign(n, -1);
+    retx_depth_.assign(n, 0);
+  }
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  // -- Per-UE lvalues (UeCtx binds references to these) ---------------------
+  [[nodiscard]] bool& sr_pending(std::size_t i) { return sr_pending_[i]; }
+  [[nodiscard]] bool& cg_scheduled(std::size_t i) { return cg_scheduled_[i]; }
+  [[nodiscard]] bool& ul_reorder_armed(std::size_t i) { return ul_reorder_armed_[i]; }
+  [[nodiscard]] bool& dl_reorder_armed(std::size_t i) { return dl_reorder_armed_[i]; }
+  [[nodiscard]] std::int32_t& ul_trace(std::size_t i) { return ul_trace_[i]; }
+  [[nodiscard]] std::int32_t& dl_trace(std::size_t i) { return dl_trace_[i]; }
+  /// Mirrors the length of the UE's HARQ retransmission queue; the queue
+  /// payload (the TBs) stays with the UE, the *head count* lives here so
+  /// re-arm sweeps scan one dense array.
+  [[nodiscard]] std::uint32_t& retx_depth(std::size_t i) { return retx_depth_[i]; }
+
+  // -- Contiguous row views for batch scans ---------------------------------
+  [[nodiscard]] std::span<const bool> sr_pending_row() const { return {sr_pending_.get(), n_}; }
+  [[nodiscard]] std::span<const bool> cg_scheduled_row() const {
+    return {cg_scheduled_.get(), n_};
+  }
+  [[nodiscard]] std::span<const std::uint32_t> retx_depth_row() const { return retx_depth_; }
+
+  /// Set flags in `row`, eight UEs per 64-bit load.
+  [[nodiscard]] static std::size_t count_set(std::span<const bool> row) {
+    std::size_t c = 0;
+    std::size_t i = 0;
+    for (; i + 8 <= row.size(); i += 8) {
+      c += static_cast<std::size_t>(std::popcount(load8(row.data() + i)));
+    }
+    for (; i < row.size(); ++i) c += static_cast<std::size_t>(row[i]);
+    return c;
+  }
+
+  [[nodiscard]] static bool any_set(std::span<const bool> row) {
+    std::size_t i = 0;
+    for (; i + 8 <= row.size(); i += 8) {
+      if (load8(row.data() + i) != 0) return true;
+    }
+    for (; i < row.size(); ++i) {
+      if (row[i]) return true;
+    }
+    return false;
+  }
+
+  /// Invoke `f(index)` for every set flag, ascending. The scan body finds
+  /// set members with countr_zero over 8-flag words rather than testing
+  /// each UE with its own branch.
+  template <typename F>
+  static void for_each_set(std::span<const bool> row, F&& f) {
+    std::size_t i = 0;
+    for (; i + 8 <= row.size(); i += 8) {
+      std::uint64_t w = load8(row.data() + i);
+      while (w != 0) {
+        // Flags are one byte each, so set bits sit at positions 0, 8, ...;
+        // countr_zero >> 3 is the byte (UE) offset within the word.
+        f(i + static_cast<std::size_t>(std::countr_zero(w) >> 3));
+        w &= w - 1;
+      }
+    }
+    for (; i < row.size(); ++i) {
+      if (row[i]) f(i);
+    }
+  }
+
+  /// Invoke `f(index, depth)` for every UE with a non-empty retx queue.
+  template <typename F>
+  void for_each_retx(F&& f) const {
+    for (std::size_t i = 0; i < retx_depth_.size(); ++i) {
+      if (retx_depth_[i] != 0) f(i, retx_depth_[i]);
+    }
+  }
+
+ private:
+  static std::uint64_t load8(const bool* p) {
+    std::uint64_t w;
+    std::memcpy(&w, p, 8);  // bool is 1 byte, value 0 or 1
+    return w;
+  }
+
+  std::size_t n_ = 0;
+  std::unique_ptr<bool[]> sr_pending_;
+  std::unique_ptr<bool[]> cg_scheduled_;
+  std::unique_ptr<bool[]> ul_reorder_armed_;
+  std::unique_ptr<bool[]> dl_reorder_armed_;
+  std::vector<std::int32_t> ul_trace_;
+  std::vector<std::int32_t> dl_trace_;
+  std::vector<std::uint32_t> retx_depth_;
+};
+
+}  // namespace u5g

@@ -74,14 +74,23 @@ std::optional<RlcTxPdu> RlcTx::pull(std::size_t max_bytes) {
     }
   }
 
-  ByteBuffer pdu = ByteBuffer::uninitialized(payload);
-  const auto src = head.sdu.bytes().subspan(head.offset, payload);
-  std::copy(src.begin(), src.end(), pdu.bytes().begin());
-  h.encode(pdu);
-
   const Nanos enq = head.enqueued_at;
-  head.offset += payload;
-  if (head.offset >= head.sdu.size()) queue_.pop_front();
+  ByteBuffer pdu;
+  if (h.si == SegmentInfo::Complete) {
+    // Complete SDU: move the queued buffer out and prepend the header into
+    // its headroom. The payload copy (and its pool round-trip) only ever
+    // paid for segmentation, which a Complete PDU does not need.
+    pdu = std::move(head.sdu);
+    h.encode(pdu);
+    queue_.pop_front();
+  } else {
+    pdu = ByteBuffer::uninitialized(payload);
+    const auto src = head.sdu.bytes().subspan(head.offset, payload);
+    std::copy(src.begin(), src.end(), pdu.bytes().begin());
+    h.encode(pdu);
+    head.offset += payload;
+    if (head.offset >= head.sdu.size()) queue_.pop_front();
+  }
 
   const std::uint16_t sn = next_sn_;
   // TM reuses SN 0; UM/AM advance per SDU completion (segments share the SN).

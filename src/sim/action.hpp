@@ -29,7 +29,18 @@ class Action {
     requires(!std::is_same_v<std::remove_cvref_t<F>, Action> &&
              std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
   Action(F&& f) {  // NOLINT(google-explicit-constructor): mirrors std::function
-    emplace(std::forward<F>(f));
+    emplace_impl(std::forward<F>(f));
+  }
+
+  /// Destroy any stored callable and construct `f` directly in the inline
+  /// buffer. The simulator uses this to build event closures in their final
+  /// resting slot, so scheduling never moves an `Action` at all.
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, Action> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  void emplace(F&& f) {
+    reset();
+    emplace_impl(std::forward<F>(f));
   }
 
   Action(Action&& o) noexcept { move_from(o); }
@@ -68,7 +79,7 @@ class Action {
                                       std::is_nothrow_move_constructible_v<Fn>;
 
   template <typename F>
-  void emplace(F&& f) {
+  void emplace_impl(F&& f) {
     using Fn = std::remove_cvref_t<F>;
     if constexpr (kFitsInline<Fn>) {
       ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));

@@ -2,22 +2,43 @@
 // Discrete-event simulation kernel.
 //
 // The whole 5G system model runs on one simulated clock. Components schedule
-// callbacks at absolute times; the kernel pops them in (time, sequence) order
-// so same-timestamp events run in scheduling order (deterministic replay).
+// callbacks at absolute times; the kernel fires them in (time, sequence)
+// order so same-timestamp events run in scheduling order (deterministic
+// replay).
 //
-// Hot-path design: the priority queue holds only (time, seq, slot) triples;
-// the callable lives in a slot map indexed by a recycled slot id, so a
-// schedule/fire cycle touches no node-based containers. Cancellation is a
-// lazy tombstone — `cancel` flips a flag in the slot and the queue entry is
-// discarded when it surfaces — and `Action` keeps small closures inline, so
-// steady-state schedule/cancel/fire performs zero heap allocations once the
-// queue and slot vectors have reached their high-water capacity.
+// Hot-path design — the kernel executes a slot as a batch, not as N
+// independent heap pops:
+//
+//  * Timestamp coalescing. Slot-synchronous systems schedule many events at
+//    the same instant (slot ticks, grant starts, HARQ feedback edges). The
+//    priority queue therefore holds one entry per *distinct* timestamp; the
+//    events of a timestamp live in a FIFO bucket that is drained as one
+//    batch. Scheduling into an already-pending timestamp is a hash lookup
+//    plus a vector append — no heap sift at all — and events scheduled *at*
+//    the timestamp currently being drained are appended to the live bucket
+//    and fire in the same batch, preserving (time, seq) order exactly.
+//  * In-place firing. Event closures are built directly inside their slot
+//    (`Action::emplace` from the templated `schedule_*` overloads) and
+//    invoked from there, so the schedule/fire cycle moves zero `Action`
+//    objects. Slots live in fixed-size chunks whose addresses never change,
+//    which is what makes firing in place safe while callbacks schedule new
+//    events.
+//  * Lazy cancellation. `cancel` flips a tombstone in the slot (releasing
+//    the captured resources eagerly) and the bucket entry is discarded when
+//    it surfaces.
+//
+// Steady-state schedule/cancel/fire performs zero heap allocations once the
+// buckets, map, heap, and slot chunks have reached their high-water sizes.
 
 #include <cstdint>
+#include <memory>
 #include <queue>
 #include <stdexcept>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/time.hpp"
 #include "sim/action.hpp"
 
@@ -45,38 +66,40 @@ class Simulator {
 
   [[nodiscard]] Nanos now() const { return now_; }
 
-  /// Schedule `action` at absolute time `when` (must be >= now()).
+  /// Schedule a callable at absolute time `when` (must be >= now()). The
+  /// templated overload constructs the closure directly in its event slot;
+  /// the `Action` overload exists for call sites that type-erased early.
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, Action> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  EventHandle schedule_at(Nanos when, F&& f) {
+    const SlotRef r = prepare(when);
+    r.s->action.emplace(std::forward<F>(f));
+    return EventHandle{r.idx, r.s->seq};
+  }
   EventHandle schedule_at(Nanos when, Action action) {
-    if (when < now_) throw std::invalid_argument{"Simulator: scheduling into the past"};
-    const std::uint64_t seq = ++next_seq_;
-    std::uint32_t idx;
-    if (free_.empty()) {
-      idx = static_cast<std::uint32_t>(slots_.size());
-      slots_.emplace_back();
-    } else {
-      idx = free_.back();
-      free_.pop_back();
-    }
-    Slot& s = slots_[idx];
-    s.seq = seq;
-    s.cancelled = false;
-    s.action = std::move(action);
-    queue_.push(QueueEntry{when, seq, idx});
-    ++live_;
-    return EventHandle{idx, seq};
+    const SlotRef r = prepare(when);
+    r.s->action = std::move(action);
+    return EventHandle{r.idx, r.s->seq};
   }
 
-  /// Schedule `action` after a relative delay.
+  /// Schedule a callable after a relative delay.
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, Action> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  EventHandle schedule_after(Nanos delay, F&& f) {
+    return schedule_at(now_ + delay, std::forward<F>(f));
+  }
   EventHandle schedule_after(Nanos delay, Action action) {
     return schedule_at(now_ + delay, std::move(action));
   }
 
   /// Cancel a pending event. Returns true if the event had not yet fired or
   /// been cancelled. Safe on default-constructed handles. O(1): tombstones
-  /// the slot; the queue entry is skipped when it reaches the front.
+  /// the slot; the bucket entry is skipped when it surfaces.
   bool cancel(EventHandle h) {
-    if (!h.valid() || h.slot_ >= slots_.size()) return false;
-    Slot& s = slots_[h.slot_];
+    if (!h.valid() || h.slot_ >= slot_count_) return false;
+    Slot& s = slot(h.slot_);
     if (s.seq != h.seq_ || s.cancelled) return false;
     s.cancelled = true;
     s.action.reset();  // release captured resources eagerly
@@ -87,16 +110,38 @@ class Simulator {
   /// Run until the event queue drains or `until` is reached (whichever first).
   /// If `until` bounds the run, the clock is advanced to exactly `until`.
   void run_until(Nanos until = Nanos::max()) {
-    while (!queue_.empty() && queue_.top().when <= until) pop_and_fire();
+    for (;;) {
+      if (draining_ == kNoBucket) {
+        if (heap_.empty() || heap_.top().when > until) break;
+        draining_ = heap_.top().bucket;
+        heap_.pop();
+      } else if (buckets_[draining_].when > until) {
+        break;  // half-drained bucket left by step(); out of this run's range
+      }
+      while (fire_next_in(draining_)) {
+      }
+      finish_bucket(draining_);
+      draining_ = kNoBucket;
+    }
     if (until != Nanos::max() && now_ < until) now_ = until;
   }
 
   /// Fire exactly one live event; returns false if none remain.
   bool step() {
-    while (!queue_.empty()) {
-      if (pop_and_fire()) return true;
+    for (;;) {
+      if (draining_ == kNoBucket) {
+        if (heap_.empty()) return false;
+        draining_ = heap_.top().bucket;
+        heap_.pop();
+      }
+      // A bucket left partially drained here is resumed before any other:
+      // it holds the earliest timestamp (== now(), so nothing can be
+      // scheduled before it), and new arrivals at that same timestamp keep
+      // appending to it until it is finished.
+      if (fire_next_in(draining_)) return true;
+      finish_bucket(draining_);
+      draining_ = kNoBucket;
     }
-    return false;
   }
 
   [[nodiscard]] std::size_t pending_events() const { return live_; }
@@ -104,53 +149,136 @@ class Simulator {
   /// Events fired over the simulator's lifetime — an always-on kernel stat
   /// benches export into the metrics registry.
   [[nodiscard]] std::uint64_t events_fired() const { return fired_; }
+  /// Timestamp buckets drained over the lifetime. events_fired() divided by
+  /// this is the average coalescing factor: how many same-timestamp events
+  /// each batch executed per priority-queue pop.
+  [[nodiscard]] std::uint64_t batches_drained() const { return batches_; }
 
  private:
   struct Slot {
-    std::uint64_t seq = 0;  ///< seq of the resident event; 0 = free
+    std::uint64_t seq = 0;  ///< seq of the resident event; 0 = free/fired
     bool cancelled = false;
     Action action;
   };
-  struct QueueEntry {
+  struct HeapEntry {
     Nanos when;
-    std::uint64_t seq;
-    std::uint32_t slot;
+    std::uint32_t bucket;
   };
-  struct Later {
-    bool operator()(const QueueEntry& a, const QueueEntry& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
+  struct LaterTime {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const { return a.when > b.when; }
+  };
+  /// All events pending at one timestamp, in scheduling (seq) order.
+  struct Bucket {
+    Nanos when{};
+    std::uint32_t head = 0;  ///< next entry to fire
+    std::vector<std::uint32_t> evs;
+  };
+  struct SlotRef {
+    Slot* s;
+    std::uint32_t idx;
   };
 
-  /// Pops the front entry; fires it unless tombstoned. Returns true if fired.
-  bool pop_and_fire() {
-    const QueueEntry e = queue_.top();
-    queue_.pop();
-    Slot& s = slots_[e.slot];
-    // The slot is recycled only after its queue entry surfaces, so it still
-    // belongs to this event here.
-    const bool tombstoned = s.cancelled;
-    Action action = std::move(s.action);
-    s.seq = 0;
+  static constexpr std::uint32_t kChunkShift = 8;
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+  static constexpr std::uint32_t kChunkMask = kChunkSize - 1;
+  static constexpr std::uint32_t kNoBucket = 0xffffffffu;
+
+  [[nodiscard]] Slot& slot(std::uint32_t i) { return chunks_[i >> kChunkShift][i & kChunkMask]; }
+
+  /// Allocate a slot and a bucket entry for `when`; the caller fills the
+  /// action in place. Slots come from fixed chunks so the returned pointer
+  /// stays valid even if callbacks grow the kernel's containers.
+  SlotRef prepare(Nanos when) {
+    if (when < now_) throw std::invalid_argument{"Simulator: scheduling into the past"};
+    const std::uint64_t seq = ++next_seq_;
+    std::uint32_t idx;
+    if (free_.empty()) {
+      if ((slot_count_ & kChunkMask) == 0) chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
+      idx = slot_count_++;
+    } else {
+      idx = free_.back();
+      free_.pop_back();
+    }
+    Slot& s = slot(idx);
+    s.seq = seq;
     s.cancelled = false;
-    s.action.reset();
-    free_.push_back(e.slot);
-    if (tombstoned) return false;
-    --live_;
-    now_ = e.when;
-    ++fired_;
-    action();  // may schedule new events; the slot was already released
-    return true;
+    enqueue(when, idx);
+    ++live_;
+    return {&s, idx};
+  }
+
+  /// Append the slot to `when`'s bucket, activating the bucket (one heap
+  /// push) only for the first event at a given pending timestamp.
+  void enqueue(Nanos when, std::uint32_t slot_idx) {
+    std::uint32_t bi;
+    if (std::uint32_t* found = time_map_.find(when.count()); found != nullptr) {
+      bi = *found;
+    } else {
+      if (bucket_free_.empty()) {
+        bi = static_cast<std::uint32_t>(buckets_.size());
+        buckets_.emplace_back();
+      } else {
+        bi = bucket_free_.back();
+        bucket_free_.pop_back();
+      }
+      buckets_[bi].when = when;
+      time_map_[when.count()] = bi;
+      heap_.push(HeapEntry{when, bi});
+    }
+    buckets_[bi].evs.push_back(slot_idx);
+  }
+
+  /// Fire the next live event of bucket `b`; returns false when the bucket
+  /// is exhausted (trailing tombstones included). The action runs inside its
+  /// slot — chunks never move, and the slot is recycled only after it
+  /// returns, so callbacks may freely schedule and cancel.
+  bool fire_next_in(std::uint32_t b) {
+    for (;;) {
+      Bucket& bk = buckets_[b];  // re-resolve: callbacks may grow buckets_
+      if (bk.head >= bk.evs.size()) return false;
+      const std::uint32_t si = bk.evs[bk.head++];
+      Slot& s = slot(si);
+      if (s.cancelled) {
+        s.seq = 0;
+        s.cancelled = false;
+        free_.push_back(si);
+        continue;
+      }
+      s.seq = 0;  // firing now: the handle goes inert, exactly as if popped
+      --live_;
+      ++fired_;
+      now_ = bk.when;
+      if (s.action) s.action();
+      s.action.reset();
+      free_.push_back(si);
+      return true;
+    }
+  }
+
+  /// Retire a fully drained bucket: only now does its timestamp leave the
+  /// map, so same-timestamp arrivals during the drain joined this batch.
+  void finish_bucket(std::uint32_t b) {
+    Bucket& bk = buckets_[b];
+    ++batches_;
+    time_map_.erase(bk.when.count());
+    bk.evs.clear();
+    bk.head = 0;
+    bucket_free_.push_back(b);
   }
 
   Nanos now_ = Nanos::zero();
   std::uint64_t next_seq_ = 0;
   std::uint64_t fired_ = 0;
+  std::uint64_t batches_ = 0;
   std::size_t live_ = 0;
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>, Later> queue_;
-  std::vector<Slot> slots_;
+  std::uint32_t slot_count_ = 0;
+  std::uint32_t draining_ = kNoBucket;
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
   std::vector<std::uint32_t> free_;
+  std::vector<Bucket> buckets_;
+  std::vector<std::uint32_t> bucket_free_;
+  FlatHashMap<std::int64_t, std::uint32_t> time_map_;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, LaterTime> heap_;
 };
 
 }  // namespace u5g

@@ -61,6 +61,14 @@ TddCommonConfig::TddCommonConfig(Numerology num, TddPattern p1, std::optional<Td
   name_ += letter(p1_);
   if (p2_) name_ += "+" + letter(*p2_);
   name_ += ")";
+  dir_table_.resize(static_cast<std::size_t>(total_slots_) * kSymbolsPerSlot);
+  for (int s = 0; s < total_slots_; ++s) {
+    for (int sym = 0; sym < kSymbolsPerSlot; ++sym) {
+      const Dir d = s < p1_slots_ ? dir_in_pattern(p1_, s, sym)
+                                  : dir_in_pattern(*p2_, s - p1_slots_, sym);
+      dir_table_[static_cast<std::size_t>(s) * kSymbolsPerSlot + static_cast<std::size_t>(sym)] = d;
+    }
+  }
 }
 
 TddCommonConfig::Dir TddCommonConfig::dir_in_pattern(const TddPattern& p, int slot_in_pattern,
@@ -77,13 +85,6 @@ TddCommonConfig::Dir TddCommonConfig::dir_in_pattern(const TddPattern& p, int sl
   if (carries_dl_syms && sym < p.dl_symbols) return Dir::D;
   if (carries_ul_syms && sym >= kSymbolsPerSlot - p.ul_symbols) return Dir::U;
   return Dir::Guard;
-}
-
-TddCommonConfig::Dir TddCommonConfig::dir(SlotIndex slot, int sym) const {
-  std::int64_t in_period = slot % total_slots_;
-  if (in_period < 0) in_period += total_slots_;
-  if (in_period < p1_slots_) return dir_in_pattern(p1_, static_cast<int>(in_period), sym);
-  return dir_in_pattern(*p2_, static_cast<int>(in_period - p1_slots_), sym);
 }
 
 bool TddCommonConfig::dl_capable(SlotIndex slot, int sym) const {

@@ -76,7 +76,17 @@ class TddCommonConfig final : public DuplexConfig {
   /// Per-symbol direction of one pattern-local slot.
   enum class Dir : std::uint8_t { D, U, Guard };
   [[nodiscard]] Dir dir_in_pattern(const TddPattern& p, int slot_in_pattern, int sym) const;
-  [[nodiscard]] Dir dir(SlotIndex slot, int sym) const;
+
+  /// Table lookup over the period; the opportunity searches call this for
+  /// every candidate symbol (millions of times per scale-out run), so the
+  /// pattern arithmetic runs once per (period slot, symbol) at construction
+  /// and never again.
+  [[nodiscard]] Dir dir(SlotIndex slot, int sym) const {
+    std::int64_t in_period = slot % total_slots_;
+    if (in_period < 0) in_period += total_slots_;
+    return dir_table_[static_cast<std::size_t>(in_period) * kSymbolsPerSlot +
+                      static_cast<std::size_t>(sym)];
+  }
 
   static void validate(const TddPattern& p, Numerology num);
 
@@ -84,6 +94,7 @@ class TddCommonConfig final : public DuplexConfig {
   std::optional<TddPattern> p2_;
   int p1_slots_ = 0;
   int total_slots_ = 0;
+  std::vector<Dir> dir_table_;  ///< period_slots x 14, filled at construction
   std::string name_;
 };
 

@@ -26,8 +26,9 @@
 
 #include <cstdint>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
+
+#include "common/flat_map.hpp"
 
 #include "common/taxonomy.hpp"
 #include "common/time.hpp"
@@ -75,19 +76,19 @@ class Tracer {
   /// it is scheduled and where it lands collapses to one span).
   void span_to(std::int32_t seq, std::string_view name, LatencyCategory cat, Nanos until) {
     if (!enabled_) return;
-    const auto it = cursor_.find(seq);
-    if (it == cursor_.end() || until <= it->second) return;
-    spans_.push_back(TraceSpan{name, cat, seq, it->second, until});
-    it->second = until;
+    Nanos* cur = cursor_.find(seq);
+    if (cur == nullptr || until <= *cur) return;
+    spans_.push_back(TraceSpan{name, cat, seq, *cur, until});
+    *cur = until;
   }
 
   /// Record a span of known duration starting at the cursor.
   void span_for(std::int32_t seq, std::string_view name, LatencyCategory cat, Nanos duration) {
     if (!enabled_) return;
-    const auto it = cursor_.find(seq);
-    if (it == cursor_.end() || duration <= Nanos::zero()) return;
-    spans_.push_back(TraceSpan{name, cat, seq, it->second, it->second + duration});
-    it->second += duration;
+    Nanos* cur = cursor_.find(seq);
+    if (cur == nullptr || duration <= Nanos::zero()) return;
+    spans_.push_back(TraceSpan{name, cat, seq, *cur, *cur + duration});
+    *cur += duration;
   }
 
   /// Finish packet `seq` at delivery time `at`. Any gap between the cursor
@@ -96,7 +97,7 @@ class Tracer {
   void close(std::int32_t seq, Nanos at) {
     if (!enabled_) return;
     span_to(seq, kUnattributedSpan, LatencyCategory::Protocol, at);
-    if (cursor_.erase(seq) != 0) ++closed_;
+    if (cursor_.erase(seq)) ++closed_;
   }
 
   /// Drop an open packet without closing it (e.g. delivery failure).
@@ -136,7 +137,7 @@ class Tracer {
  private:
   bool enabled_ = false;
   std::vector<TraceSpan> spans_;
-  std::unordered_map<std::int32_t, Nanos> cursor_;  ///< open packets -> attribution frontier
+  FlatHashMap<std::int32_t, Nanos> cursor_;  ///< open packets -> attribution frontier
   std::size_t closed_ = 0;
 };
 

@@ -13,8 +13,10 @@
 #include <cstring>
 #include <new>
 #include <random>
+#include <thread>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/buffer_pool.hpp"
 #include "common/bytes.hpp"
 #include "common/small_vec.hpp"
@@ -301,6 +303,56 @@ TEST(BufferPoolTest, WarmByteBuffersRecycleThroughTheThreadLocalPool) {
   EXPECT_EQ(heap_before, BufferPool::local().stats().heap_allocations);
 }
 
+TEST(BufferPoolTest, CrossThreadReleaseKeepsEveryCounterExact) {
+  // Regression: global acquire/release tallies used to be two process-wide
+  // atomics; now each pool keeps its own (owner-thread-written) counters,
+  // merged on read. A block released on a thread that did not acquire it
+  // must (a) not underflow the destination pool's `outstanding`, (b) tick
+  // its `foreign_releases`, (c) keep the source pool counting the block as
+  // outstanding, and (d) leave the merged global view migration-exact.
+  constexpr int kBlocks = 5;
+  BufferPool source;
+  BufferPool::Block* blocks[kBlocks];
+  for (auto& b : blocks) b = source.acquire(512);
+  EXPECT_EQ(static_cast<std::uint64_t>(kBlocks), source.stats().outstanding);
+  const BufferPool::GlobalStats before = BufferPool::global_stats();
+
+  std::thread releaser([&] {
+    BufferPool sink;
+    EXPECT_EQ(0u, sink.stats().outstanding);
+    for (auto* b : blocks) sink.release(b);
+    EXPECT_EQ(0u, sink.stats().outstanding) << "foreign release must not underflow";
+    EXPECT_EQ(static_cast<std::uint64_t>(kBlocks), sink.stats().foreign_releases);
+    EXPECT_EQ(static_cast<std::uint64_t>(kBlocks), sink.stats().releases);
+    // `sink` is destroyed here: its release tally must fold into the
+    // registry's retired counters, not vanish with the pool.
+  });
+  releaser.join();
+
+  EXPECT_EQ(static_cast<std::uint64_t>(kBlocks), source.stats().outstanding)
+      << "migrated blocks never come home to the source pool";
+  const BufferPool::GlobalStats after = BufferPool::global_stats();
+  EXPECT_EQ(before.acquires, after.acquires);
+  EXPECT_EQ(before.releases + kBlocks, after.releases);
+  EXPECT_EQ(before.outstanding - kBlocks, after.outstanding)
+      << "global view must stay exact across migration and pool teardown";
+}
+
+TEST(BufferPoolTest, GlobalStatsPairAcquiresWithReleasesOnTheHappyPath) {
+  const BufferPool::GlobalStats before = BufferPool::global_stats();
+  {
+    BufferPool pool;
+    BufferPool::Block* a = pool.acquire(256);
+    BufferPool::Block* b = pool.acquire(4096);
+    pool.release(a);
+    pool.release(b);
+  }
+  const BufferPool::GlobalStats after = BufferPool::global_stats();
+  EXPECT_EQ(before.acquires + 2, after.acquires);
+  EXPECT_EQ(before.releases + 2, after.releases);
+  EXPECT_EQ(before.outstanding, after.outstanding);
+}
+
 // ---------------------------------------------------------------------------
 // SmallVec: moving a heap-spilled vector transfers the heap block wholesale;
 // the source must end up empty without running destructors over the
@@ -481,6 +533,50 @@ struct EntityChain {
     return delivered;
   }
 
+  /// Batched slot: kBatch packets protected, multiplexed into one transport
+  /// block, parsed and received through the batch kernels — the
+  /// bench_datapath pump_batch shape, with all scratch on the slot arena.
+  static constexpr std::size_t kBatch = 8;
+  std::size_t pump_batch(std::uint8_t fill) {
+    std::array<ByteBuffer, kBatch> pkts;
+    ByteBuffer** ptrs = arena.allocate_array<ByteBuffer*>(kBatch);
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      pkts[i] = ByteBuffer(payload_bytes, static_cast<std::uint8_t>(fill + i));
+      sdap.encapsulate(pkts[i], kQfi);
+      ptrs[i] = &pkts[i];
+    }
+    pdcp_tx.protect_batch({ptrs, kBatch});
+
+    for (std::size_t i = 0; i < kBatch; ++i) rlc_tx.enqueue(std::move(pkts[i]), Nanos::zero());
+    std::array<MacSubPdu, kBatch> sub;
+    std::size_t nsub = 0;
+    std::size_t used = 0;
+    while (auto pulled = rlc_tx.pull(kBatch * tb_bytes - used - kMacSubheaderBytes)) {
+      used += kMacSubheaderBytes + pulled->pdu.size();
+      sub[nsub].lcid = Lcid::Drb1;
+      sub[nsub].payload = std::move(pulled->pdu);
+      if (++nsub == kBatch) break;
+    }
+    ByteBuffer tb = build_mac_pdu({sub.data(), nsub}, used);
+
+    std::array<ByteBuffer, kBatch> staged;
+    std::size_t nstaged = 0;
+    parse_mac_pdu_to(std::move(tb), [&](ByteBuffer&& body, const PacketMeta& meta) {
+      if (meta.lcid != static_cast<std::uint8_t>(Lcid::Drb1)) return;
+      rlc_rx.receive(std::move(body), [&](ByteBuffer&& sdu, const PacketMeta&) {
+        if (nstaged < kBatch) staged[nstaged++] = std::move(sdu);
+      });
+    });
+
+    std::size_t delivered = 0;
+    pdcp_rx.receive_batch({staged.data(), nstaged}, [&](ByteBuffer&& plain, const PacketMeta&) {
+      (void)sdap.decapsulate(plain);
+      if (plain.size() == payload_bytes) ++delivered;
+    });
+    arena.epoch_reset();
+    return delivered;
+  }
+
   std::size_t payload_bytes;
   std::size_t tb_bytes;
   SdapEntity sdap;
@@ -488,6 +584,7 @@ struct EntityChain {
   PdcpRx pdcp_rx;
   RlcTx rlc_tx;
   RlcRx rlc_rx;
+  Arena arena;
 };
 
 TEST(ZeroAllocTest, WarmEntityChainIsAllocationFree) {
@@ -502,6 +599,38 @@ TEST(ZeroAllocTest, WarmEntityChainIsAllocationFree) {
     }
     EXPECT_EQ(0u, g_allocs.load() - before)
         << "warm entity chain allocated at payload " << payload;
+  }
+}
+
+TEST(ZeroAllocTest, BatchedSlotRoundTripsEveryPacket) {
+  // Functional check first: the batched slot (protect_batch, one multiplexed
+  // TB, receive_batch) must deliver all kBatch packets per pump, at every
+  // payload class, including runs long enough to wrap PDCP lanes and RLC SNs.
+  for (const std::size_t payload : {64u, 256u, 1250u}) {
+    EntityChain chain(payload);
+    for (int i = 0; i < 64; ++i) {
+      ASSERT_EQ(EntityChain::kBatch, chain.pump_batch(static_cast<std::uint8_t>(i)))
+          << "batch " << i << " at payload " << payload;
+    }
+  }
+}
+
+TEST(ZeroAllocTest, WarmBatchedSlotIsAllocationFree) {
+  // The batched path stages through arena scratch and std::array buffers;
+  // once pools and arena slabs are warm, a full kBatch-packet slot must not
+  // touch the heap — the counting allocator is the proof, the bench --strict
+  // gate is the ongoing enforcement.
+  for (const std::size_t payload : {64u, 256u, 1250u}) {
+    EntityChain chain(payload);
+    for (int i = 0; i < 32; ++i) {
+      ASSERT_EQ(EntityChain::kBatch, chain.pump_batch(static_cast<std::uint8_t>(i)));
+    }
+    const std::size_t before = g_allocs.load();
+    for (int i = 0; i < 128; ++i) {
+      ASSERT_EQ(EntityChain::kBatch, chain.pump_batch(static_cast<std::uint8_t>(i)));
+    }
+    EXPECT_EQ(0u, g_allocs.load() - before)
+        << "warm batched slot allocated at payload " << payload;
   }
 }
 

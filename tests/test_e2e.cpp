@@ -132,6 +132,37 @@ TEST(E2eTest, ChannelLossRecoveredByHarq) {
   EXPECT_GT(multi, 10);
 }
 
+TEST(E2eTest, MacBacklogScansTheSoAPoolRows) {
+  // mac_backlog() reads the struct-of-arrays MAC state rows directly (the
+  // batch-scan consumer of the UE pool). Quiesced after a loss-free run,
+  // every backlog gauge must be back at idle; mid-run with pending traffic
+  // the gauges must be internally consistent.
+  StackConfig cfg = StackConfig::testbed_grant_free(21);
+  cfg.num_ues = 4;
+  E2eSystem sys(std::move(cfg));
+  offer_uniform(sys, 40, Direction::Uplink, 22);
+  sys.run_until(kPattern * 2 * 50);
+  const E2eSystem::MacBacklog idle = sys.mac_backlog();
+  EXPECT_EQ(0u, idle.sr_pending) << "no SR may stay latched after the run drains";
+  EXPECT_EQ(0u, idle.retx_ues);
+  EXPECT_EQ(0u, idle.retx_tbs);
+
+  // Under loss, the retx gauges must agree with each other at any instant:
+  // a UE counted in retx_ues contributes at least one TB.
+  StackConfig lossy = StackConfig::testbed_grant_free(23);
+  lossy.channel_loss = 0.3;
+  E2eSystem sys2(std::move(lossy));
+  offer_uniform(sys2, 100, Direction::Uplink, 24);
+  bool saw_retx = false;
+  for (int step = 1; step <= 100; ++step) {
+    sys2.run_until(kPattern * 2 * step);
+    const E2eSystem::MacBacklog b = sys2.mac_backlog();
+    EXPECT_GE(b.retx_tbs, b.retx_ues);
+    saw_retx = saw_retx || b.retx_ues > 0;
+  }
+  EXPECT_TRUE(saw_retx) << "30% loss must surface a HARQ retx backlog at some slot";
+}
+
 TEST(E2eTest, RetransmissionCostsVisibleInLatency) {
   StackConfig cfg = StackConfig::testbed_grant_free(19);
   cfg.channel_loss = 0.15;

@@ -5,12 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <functional>
 #include <cstdlib>
 #include <memory>
 #include <new>
 #include <vector>
 
 #include "sim/periodic.hpp"
+#include "sim/runner.hpp"
 #include "sim/simulator.hpp"
 
 // Global allocation counter: the kernel claims zero heap allocations for
@@ -58,6 +60,80 @@ TEST(SimulatorTest, SameTimestampFifo) {
   }
   sim.run_until();
   for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SimulatorTest, CoalescedSameTimestampFiringMatchesReferenceModel) {
+  // Property test for the bucket-coalescing kernel: random workloads with
+  // heavy timestamp ties — including events that schedule children at the
+  // *same* timestamp mid-drain, which must join the live bucket in FIFO
+  // position — fire in exactly the (time, scheduling-order) sequence of a
+  // bucket-oblivious reference model.
+  constexpr int kInitial = 64;
+  constexpr int kTimes = 7;  // 64 events over 7 timestamps: ties everywhere
+  constexpr int kSpawnBase = 10000;
+  constexpr int kSpawnCap = kSpawnBase + 200;
+  for (std::uint64_t trial = 0; trial < 10; ++trial) {
+    const auto h = [trial](int id) {
+      return splitmix64(trial * 0x9E3779B97F4A7C15ULL + static_cast<std::uint64_t>(id));
+    };
+    const auto time_of = [&](int id) {
+      return static_cast<std::int64_t>(h(id) % kTimes) * 100;
+    };
+
+    // Reference model: a flat list ordered by (time, scheduling seq); a
+    // fired event may append a child at its own timestamp or 50 ns later.
+    struct Rec {
+      std::int64_t t;
+      std::uint64_t seq;
+      int id;
+    };
+    std::vector<Rec> pending;
+    std::vector<int> ref_order;
+    std::uint64_t seq = 0;
+    for (int id = 0; id < kInitial; ++id) pending.push_back({time_of(id), seq++, id});
+    int ref_spawn = kSpawnBase;
+    while (!pending.empty()) {
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < pending.size(); ++i) {
+        if (pending[i].t < pending[best].t ||
+            (pending[i].t == pending[best].t && pending[i].seq < pending[best].seq)) {
+          best = i;
+        }
+      }
+      const Rec r = pending[best];
+      pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(best));
+      ref_order.push_back(r.id);
+      if (ref_spawn < kSpawnCap) {
+        const std::uint64_t kind = h(r.id) % 3;
+        if (kind == 0) pending.push_back({r.t, seq++, ref_spawn++});
+        else if (kind == 1) pending.push_back({r.t + 50, seq++, ref_spawn++});
+      }
+    }
+
+    // The kernel, driven by the identical spawn script.
+    Simulator sim;
+    std::vector<int> order;
+    int spawn = kSpawnBase;
+    std::function<void(int, std::int64_t)> fire = [&](int id, std::int64_t t) {
+      order.push_back(id);
+      if (spawn < kSpawnCap) {
+        const std::uint64_t kind = h(id) % 3;
+        if (kind == 0) {
+          const int c = spawn++;
+          sim.schedule_at(Nanos{t}, [&fire, c, t] { fire(c, t); });
+        } else if (kind == 1) {
+          const int c = spawn++;
+          sim.schedule_at(Nanos{t + 50}, [&fire, c, t] { fire(c, t + 50); });
+        }
+      }
+    };
+    for (int id = 0; id < kInitial; ++id) {
+      const std::int64_t t = time_of(id);
+      sim.schedule_at(Nanos{t}, [&fire, id, t] { fire(id, t); });
+    }
+    sim.run_until();
+    ASSERT_EQ(ref_order, order) << "trial " << trial;
+  }
 }
 
 TEST(SimulatorTest, ScheduleAfterIsRelative) {

@@ -1,0 +1,102 @@
+// Unit tests for the struct-of-arrays per-UE MAC state pool: the word-wise
+// row scans against a naive per-element reference (including sizes that are
+// not multiples of the 8-flag word), reference binding into rows, and the
+// idle-value reset contract.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "mac/ue_pool.hpp"
+#include "sim/runner.hpp"
+
+namespace u5g {
+namespace {
+
+/// Naive reference for the batch scans.
+std::size_t ref_count(std::span<const bool> row) {
+  std::size_t c = 0;
+  for (const bool b : row) c += static_cast<std::size_t>(b);
+  return c;
+}
+
+std::vector<std::size_t> ref_indices(std::span<const bool> row) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (row[i]) out.push_back(i);
+  }
+  return out;
+}
+
+TEST(UeMacPoolTest, WordWiseScansMatchReferenceAcrossSizesAndPatterns) {
+  // Odd sizes exercise both the 8-at-a-time body and the scalar tail.
+  for (const std::size_t n : {0u, 1u, 7u, 8u, 9u, 15u, 16u, 63u, 64u, 65u, 200u}) {
+    UeMacPool pool(n);
+    std::uint64_t state = 0x9E3779B97F4A7C15ULL ^ n;
+    for (int round = 0; round < 32; ++round) {
+      for (std::size_t i = 0; i < n; ++i) {
+        state = splitmix64(state);
+        pool.sr_pending(i) = (state & 3) == 0;  // ~25% density
+      }
+      const auto row = pool.sr_pending_row();
+      EXPECT_EQ(ref_count(row), UeMacPool::count_set(row)) << "n=" << n;
+      EXPECT_EQ(ref_count(row) > 0, UeMacPool::any_set(row)) << "n=" << n;
+      std::vector<std::size_t> seen;
+      UeMacPool::for_each_set(row, [&](std::size_t i) { seen.push_back(i); });
+      EXPECT_EQ(ref_indices(row), seen) << "n=" << n;
+    }
+  }
+}
+
+TEST(UeMacPoolTest, ScansHandleAllSetAndAllClear) {
+  UeMacPool pool(23);
+  EXPECT_EQ(0u, UeMacPool::count_set(pool.sr_pending_row()));
+  EXPECT_FALSE(UeMacPool::any_set(pool.sr_pending_row()));
+  for (std::size_t i = 0; i < 23; ++i) pool.sr_pending(i) = true;
+  EXPECT_EQ(23u, UeMacPool::count_set(pool.sr_pending_row()));
+  EXPECT_TRUE(UeMacPool::any_set(pool.sr_pending_row()));
+}
+
+TEST(UeMacPoolTest, ReferencesAliasTheRows) {
+  // The datapath's contract: a UeCtx binds `bool&` / `uint32_t&` into the
+  // rows and mutates through them; batch scans must observe those writes.
+  UeMacPool pool(8);
+  bool& sr3 = pool.sr_pending(3);
+  std::uint32_t& rd5 = pool.retx_depth(5);
+  sr3 = true;
+  rd5 = 4;
+  EXPECT_TRUE(pool.sr_pending_row()[3]);
+  EXPECT_EQ(1u, UeMacPool::count_set(pool.sr_pending_row()));
+  std::size_t retx_ues = 0;
+  std::uint32_t retx_tbs = 0;
+  pool.for_each_retx([&](std::size_t i, std::uint32_t depth) {
+    EXPECT_EQ(5u, i);
+    ++retx_ues;
+    retx_tbs += depth;
+  });
+  EXPECT_EQ(1u, retx_ues);
+  EXPECT_EQ(4u, retx_tbs);
+}
+
+TEST(UeMacPoolTest, ResizeResetsEveryFieldToItsIdleValue) {
+  UeMacPool pool(4);
+  pool.sr_pending(2) = true;
+  pool.cg_scheduled(1) = true;
+  pool.ul_trace(0) = 42;
+  pool.retx_depth(3) = 9;
+  pool.resize(6);
+  EXPECT_EQ(6u, pool.size());
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_FALSE(pool.sr_pending(i));
+    EXPECT_FALSE(pool.cg_scheduled(i));
+    EXPECT_FALSE(pool.ul_reorder_armed(i));
+    EXPECT_FALSE(pool.dl_reorder_armed(i));
+    EXPECT_EQ(-1, pool.ul_trace(i));
+    EXPECT_EQ(-1, pool.dl_trace(i));
+    EXPECT_EQ(0u, pool.retx_depth(i));
+  }
+}
+
+}  // namespace
+}  // namespace u5g
