@@ -20,6 +20,8 @@ new metrics never fail the check.
 Headline metrics:
   datapath  - packets_per_sec per payload size (batched slot execution)
   scaleout  - 1-thread ue_packets_per_s and events_per_s
+  citywide  - events_per_s / ue_pkt_per_s / ues_per_core of the largest
+              cells x background-UEs row of the sweep
 """
 
 from __future__ import annotations
@@ -48,6 +50,13 @@ def headline_metrics(run: dict) -> dict[str, float]:
                 out["ue_packets_per_s_1t"] = row["ue_packets_per_s"]
                 if "events_per_s" in row:
                     out["events_per_s_1t"] = row["events_per_s"]
+    elif bench == "citywide":
+        rows = run.get("results", [])
+        if rows:
+            top = max(rows, key=lambda r: r.get("total_bg_ues", 0))
+            out["events_per_s"] = top["events_per_s"]
+            out["ue_pkt_per_s"] = top["ue_pkt_per_s"]
+            out["ues_per_core"] = top["ues_per_core"]
     else:
         raise SystemExit(f"bench_trajectory: unknown bench kind {bench!r}")
     if not out:

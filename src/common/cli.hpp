@@ -36,6 +36,7 @@ struct BenchOptions {
   std::optional<std::string> trace;    ///< Chrome trace_event JSON output
   std::optional<std::string> metrics;  ///< metrics-registry JSON output
   bool strict = false;                 ///< enable bench self-check assertions
+  bool smoke = false;                  ///< shrink fixed sweeps for sanitizer CI
 };
 
 namespace detail {
@@ -84,9 +85,12 @@ inline BenchOptions parse_bench_options(int argc, char** argv, BenchOptions defa
       o.metrics = next(a);
     } else if (std::strcmp(a, "--strict") == 0) {
       o.strict = true;
+    } else if (std::strcmp(a, "--smoke") == 0) {
+      o.smoke = true;
     } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
       std::printf("usage: %s [--packets N] [--trials N] [--seed S] [--threads T] "
-                  "[--json FILE] [--out DIR | DIR] [--trace FILE] [--metrics FILE] [--strict]\n",
+                  "[--json FILE] [--out DIR | DIR] [--trace FILE] [--metrics FILE] "
+                  "[--strict] [--smoke]\n",
                   argv[0]);
       std::exit(0);
     } else if (a[0] != '-') {

@@ -1,8 +1,16 @@
 #include "core/cell.hpp"
 
+#include <algorithm>
+
 #include "sim/runner.hpp"
 
 namespace u5g {
+namespace {
+// Population RNG streams live beside — never inside — the cell's main
+// stream: fork from cell_seed ^ salt so attaching a population cannot
+// perturb a single tracked draw ("populate" in ASCII).
+constexpr std::uint64_t kPopulationSalt = 0x706f'7075'6c61'7465ULL;
+}  // namespace
 
 std::uint64_t cell_seed(std::uint64_t root, int index) {
   return index == 0 ? root : replication_seed(root, static_cast<std::uint64_t>(index));
@@ -15,20 +23,57 @@ StackConfig per_cell_config(const StackConfig& base, int index) {
 }
 
 Cell::Cell(const StackConfig& base, int index)
-    : index_(index), sys_(std::make_unique<E2eSystem>(per_cell_config(base, index))) {}
+    : index_(index),
+      slot_(base.duplex ? base.duplex->numerology().slot_duration() : Nanos{1}),
+      sys_(std::make_unique<E2eSystem>(per_cell_config(base, index))) {
+  if (base.population.background_ues > 0) {
+    pop_ = std::make_unique<UePopulation>(
+        base.population, slot_, splitmix64(cell_seed(base.seed, index) ^ kPopulationSalt));
+  }
+}
 
 void Cell::queue_uplink(Nanos at, int ue) { sys_->send_uplink_at(at, ue); }
 
 void Cell::queue_downlink(Nanos at, int ue) { sys_->send_downlink_at(at, ue); }
 
-void Cell::advance_to(Nanos to) { sys_->run_until(to); }
+void Cell::advance_to(Nanos to) {
+  if (!pop_) {
+    sys_->run_until(to);
+    return;
+  }
+  // Slot k's population tick fires at the end of slot k, after the tracked
+  // system has drained to the same instant. Ticks depend only on the
+  // absolute slot index, so any partitioning of time into windows crosses
+  // each boundary exactly once — window sizing cannot change results.
+  while (tick_time(ticked_slots_) <= to) {
+    const Nanos t = tick_time(ticked_slots_);
+    sys_->run_until(t);
+    pop_->tick(ticked_slots_++);
+    apply_load();
+  }
+  sys_->run_until(to);
+}
+
+Nanos Cell::next_activity() const {
+  const Nanos ev = sys_->simulator().next_event_time();
+  return pop_ ? std::min(ev, tick_time(ticked_slots_)) : ev;
+}
 
 std::uint64_t Cell::inflight_packets() const {
   return sys_->packets_started() - sys_->packets_delivered();
 }
 
+std::uint64_t Cell::load_signal() const {
+  return inflight_packets() + (pop_ ? pop_->queued_packets() : 0);
+}
+
 void Cell::set_neighbor_load(double equivalent_ues) {
-  sys_->set_external_load_ues(equivalent_ues);
+  neighbor_load_ = equivalent_ues;
+  apply_load();
+}
+
+void Cell::apply_load() {
+  sys_->set_external_load_ues(neighbor_load_ + (pop_ ? pop_->load_ues() : 0.0));
 }
 
 }  // namespace u5g

@@ -2,18 +2,30 @@
 // One cell of the sharded scale-out engine (sim/sharded.hpp).
 //
 // A Cell is a shard: it owns a complete E2eSystem — its own Simulator, gNB
-// stack, and num_ues UE stacks — built from a per-cell StackConfig whose
-// seed is drawn from a SplitMix64 stream rooted at the engine-level seed.
-// Cell 0 keeps the root seed, so a 1-cell sharded run reproduces a plain
-// E2eSystem bit for bit. Cells share no mutable state while a
-// synchronisation window executes; all cross-cell interaction goes through
-// the engine at slot barriers (queue_* / inflight_packets / set_neighbor_load).
+// stack, and num_ues *tracked* UE stacks — built from a per-cell StackConfig
+// whose seed is drawn from a SplitMix64 stream rooted at the engine-level
+// seed. Cell 0 keeps the root seed, so a 1-cell sharded run reproduces a
+// plain E2eSystem bit for bit.
+//
+// When `StackConfig::population.background_ues > 0` the cell additionally
+// carries a UePopulation (mac/ue_population.hpp): a flat-row pool of lite
+// background UEs ticked once per slot, interleaved with the tracked system
+// inside advance_to(). The population's backlog loads the tracked gNB
+// through the same external-load hook the inter-cell coupling uses, and its
+// RNG stream is forked from `cell_seed ^ salt` — the tracked system's draw
+// sequence never changes, so single-cell parity and every golden file
+// survive with a population attached.
+//
+// Cells share no mutable state while a synchronisation window executes; all
+// cross-cell interaction goes through the engine at slot barriers
+// (queue_* / load_signal / set_neighbor_load).
 
 #include <cstdint>
 #include <memory>
 
 #include "core/e2e_system.hpp"
 #include "core/stack_config.hpp"
+#include "mac/ue_population.hpp"
 
 namespace u5g {
 
@@ -32,6 +44,8 @@ class Cell {
   [[nodiscard]] int index() const { return index_; }
   [[nodiscard]] E2eSystem& system() { return *sys_; }
   [[nodiscard]] const E2eSystem& system() const { return *sys_; }
+  /// Background lite-UE pool, or nullptr when the config has none.
+  [[nodiscard]] const UePopulation* population() const { return pop_.get(); }
 
   // -- Traffic (engine thread, between windows) -----------------------------
 
@@ -43,21 +57,45 @@ class Cell {
 
   // -- Shard execution (worker thread, inside a window) ---------------------
 
-  /// Advance the cell's simulator to exactly `to` (one synchronisation
-  /// window; the engine guarantees no cross-cell input changes before then).
+  /// Advance the cell to exactly `to` (one synchronisation window; the
+  /// engine guarantees no cross-cell input changes before then). With a
+  /// population attached, slot ticks interleave with the event drain: slot k
+  /// ticks once the tracked system has drained to the end of slot k.
   void advance_to(Nanos to);
+
+  /// Earliest instant at which this cell can next change observable state:
+  /// min of the tracked simulator's next pending event and the next
+  /// population slot tick. Nanos::max() when fully idle. The engine's
+  /// adaptive lookahead uses this to size synchronisation windows and to
+  /// skip dispatching provably idle cells.
+  [[nodiscard]] Nanos next_activity() const;
 
   // -- Cross-shard signals (engine thread, at the barrier) ------------------
 
-  /// Packets started but not yet delivered — the load signal neighbours see.
+  /// Tracked packets started but not yet delivered.
   [[nodiscard]] std::uint64_t inflight_packets() const;
+  /// The load signal neighbours see: tracked in-flight packets plus queued
+  /// background packets. Only changes when events fire or a slot ticks, so
+  /// it is constant between consecutive next_activity() instants — the fact
+  /// the adaptive lookahead's barrier-skipping rests on.
+  [[nodiscard]] std::uint64_t load_signal() const;
   /// Apply the aggregate neighbour load (in equivalent extra UEs) exchanged
   /// at the barrier; effective from the next window's processing draws.
+  /// Combined with the own-population backlog load before reaching the gNB.
   void set_neighbor_load(double equivalent_ues);
 
  private:
+  void apply_load();
+  [[nodiscard]] Nanos tick_time(std::uint64_t slot) const {
+    return Nanos{static_cast<std::int64_t>(slot + 1) * slot_.count()};
+  }
+
   int index_;
+  Nanos slot_{1};
   std::unique_ptr<E2eSystem> sys_;
+  std::unique_ptr<UePopulation> pop_;  ///< null when background_ues == 0
+  std::uint64_t ticked_slots_ = 0;     ///< population slots completed
+  double neighbor_load_ = 0.0;
 };
 
 }  // namespace u5g

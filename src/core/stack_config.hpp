@@ -15,6 +15,7 @@
 #include "corenet/upf.hpp"
 #include "fault/scenario.hpp"
 #include "mac/configured_grant.hpp"
+#include "mac/ue_population.hpp"
 #include "mac/sched_request.hpp"
 #include "mac/scheduler.hpp"
 #include "os/proc_time.hpp"
@@ -48,6 +49,12 @@ struct StackConfig {
   /// at a neighbouring cell loads this cell's gNB like `coupling` extra
   /// attached UEs (through `gnb_load_factor_per_ue`). 0 = isolated cells.
   double intercell_load_coupling = 0.0;
+  /// Background lite-UE population per cell (mac/ue_population.hpp):
+  /// `population.background_ues` flat SoA rows driven by aggregate per-slot
+  /// arrival counts, loading the gNB alongside the `num_ues` tracked full
+  /// stacks. Default is disabled (0 background UEs) — every existing config,
+  /// golden file and seed stream is untouched.
+  PopulationConfig population{};
   ProcessingProfile gnb_proc = ProcessingProfile::gnb_i7();
   ProcessingProfile ue_proc = ProcessingProfile::ue_modem();
   RadioHeadParams gnb_radio = RadioHeadParams::usrp_b210_usb2();

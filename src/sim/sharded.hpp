@@ -4,40 +4,57 @@
 // The paper models one gNB and one UE; ROADMAP's north star is a
 // production-scale simulator. PR 1 parallelised *across* Monte-Carlo
 // replications — this engine parallelises *within* one scenario by running
-// `StackConfig::num_cells` complete cells (core/cell.hpp) concurrently on
-// the PR-1 ThreadPool.
+// `StackConfig::num_cells` complete cells (core/cell.hpp), each optionally
+// carrying a lite-UE background population (mac/ue_population.hpp), so a
+// city-scale run is a handful of tracked full stacks plus ~10^6 flat-row
+// background UEs.
 //
-// Synchronisation model (classic conservative lookahead):
-//   * Cross-cell effects are slot-aligned, so the lookahead — the horizon a
-//     shard may simulate without seeing new cross-shard input — is one slot.
-//     run_until() executes slot-sized windows: fan every cell's
-//     `advance_to(window_end)` across the pool, `wait_idle()` as the
-//     barrier, then exchange cross-shard signals on the engine thread.
+// Synchronisation model (conservative lookahead, adaptive windows):
+//   * Cross-cell effects are slot-aligned: the load signal every cell
+//     exposes (load_signal()) only changes when one of its events fires or
+//     its population ticks, and is exchanged at barriers on the slot grid.
+//   * run_until() sizes each window from *actual* upcoming activity: the
+//     window ends at the first slot-grid barrier at or after the earliest
+//     next_activity() across cells. Grid barriers before that instant are
+//     provably no-ops — no event fired anywhere, so every load is unchanged
+//     and re-exchanging it would re-apply identical values — and skipping
+//     them is therefore bitwise-invisible. Cells whose next activity lies
+//     beyond the window are not dispatched at all (their clocks catch up in
+//     the final window). With `intercell_load_coupling == 0` the cells are
+//     provably independent, the lookahead is infinite, and the whole span
+//     runs as one window.
 //   * Cross-shard channels: backhaul packets enter at the engine's UPF
-//     ingress and are routed to the serving cell (send_downlink_at), and an
-//     inter-cell load signal — each cell's in-flight packet count — scales
-//     neighbours' gNB processing through `intercell_load_coupling` ×
-//     `gnb_load_factor_per_ue`, applied at each barrier.
-//   * With `intercell_load_coupling == 0` the cells are provably
-//     independent, the lookahead is infinite, and the whole span runs as
-//     one window.
+//     ingress and are routed to the serving cell (send_downlink_at), and the
+//     inter-cell load signal scales neighbours' gNB processing through
+//     `intercell_load_coupling` × `gnb_load_factor_per_ue` at each barrier.
+//
+// Execution model: a persistent ShardGang (sharded.cpp) replaces the PR-1
+// ThreadPool here. The engine thread publishes one window descriptor —
+// no per-cell closures, no queue traffic — and participates as worker 0;
+// helper workers claim cells through per-cell atomic epoch slots, each
+// starting from its own home range and stealing forward into lagging
+// ranges. When helpers win no work for several consecutive windows (the
+// 1-core container), the engine stops waking them and the multi-threaded
+// path degenerates to the single-threaded instruction stream.
 //
 // Determinism contract (matching sim/runner.hpp): cell i always receives
 // `cell_seed(seed, i)`; shards share no mutable state inside a window
 // (BufferPool free-lists are thread-local and migration-safe); all
 // cross-shard exchange and every merge happens on the engine thread in
-// fixed cell order. Merged results are therefore bitwise-identical across
-// worker thread counts for the same config and injection sequence.
+// fixed cell order. Which worker claims a cell affects wall-clock only,
+// never state — merged results are bitwise-identical across worker thread
+// counts (work-stealing included) for the same config and injections.
 
 #include <cstdint>
 #include <memory>
 #include <vector>
 
-#include "common/thread_pool.hpp"
 #include "core/cell.hpp"
 #include "trace/chrome_trace.hpp"
 
 namespace u5g {
+
+class ShardGang;
 
 struct ShardedOptions {
   int threads = 0;  ///< worker count; 0 = hardware concurrency
@@ -54,7 +71,8 @@ class ShardedEngine {
 
   [[nodiscard]] int num_cells() const { return static_cast<int>(cells_.size()); }
   [[nodiscard]] int threads() const;
-  /// The synchronisation lookahead: one slot of the base duplex config.
+  /// The slot-grid pitch synchronisation barriers live on. Actual windows
+  /// are adaptive multiples of this.
   [[nodiscard]] Nanos window() const { return slot_; }
 
   [[nodiscard]] Cell& cell(int i) { return *cells_.at(static_cast<std::size_t>(i)); }
@@ -71,30 +89,48 @@ class ShardedEngine {
   /// backhaul cross-shard channel to serving cell `cell` for UE `ue`.
   void send_downlink_at(Nanos at, int cell, int ue = 0);
 
-  /// Advance every shard to exactly `until`, one lookahead window at a time.
+  /// Advance every shard to exactly `until`, one adaptive window at a time.
   void run_until(Nanos until);
 
   // -- Deterministic merged views (fixed cell order) ------------------------
 
   [[nodiscard]] SampleSet latency_samples_us(Direction dir) const;
+  /// Tracked-stack metrics merged with every population's `population.*`
+  /// counters and latency histogram.
   [[nodiscard]] MetricsRegistry merged_metrics() const;
   [[nodiscard]] std::uint64_t packets_started() const;
   [[nodiscard]] std::uint64_t packets_delivered() const;
   [[nodiscard]] std::uint64_t radio_deadline_misses() const;
   [[nodiscard]] std::uint64_t events_fired() const;
+
+  /// Background-population aggregates summed over cells in fixed order.
+  struct PopulationTotals {
+    std::uint64_t ues = 0;            ///< background UEs across all cells
+    std::uint64_t offered = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t harq_drops = 0;
+    std::uint64_t queue_drops = 0;
+    std::uint64_t grants_used = 0;
+    std::uint64_t queued = 0;
+    std::uint64_t storage_bytes = 0;  ///< flat-row bytes (bytes/UE headline)
+  };
+  [[nodiscard]] PopulationTotals population_totals() const;
+
   /// One Chrome-trace lane per cell ("cell 0", "cell 1", ...); span views
   /// stay valid while the engine lives.
   [[nodiscard]] std::vector<TraceLane> trace_lanes() const;
 
  private:
-  void advance_all(Nanos to);
+  void advance_all(Nanos to, bool filter_idle);
   void exchange_load();
 
   StackConfig base_;
   Nanos slot_;
   std::vector<std::unique_ptr<Cell>> cells_;
-  std::unique_ptr<ThreadPool> pool_;  ///< null when running single-threaded
-  Nanos now_{};                       ///< synchronisation frontier
+  std::unique_ptr<ShardGang> gang_;  ///< null when running single-threaded
+  std::vector<Cell*> active_;        ///< window dispatch list, storage reused
+  std::vector<double> load_;         ///< barrier scratch, storage reused
+  Nanos now_{};                      ///< synchronisation frontier
 };
 
 }  // namespace u5g

@@ -146,6 +146,14 @@ class Simulator {
 
   [[nodiscard]] std::size_t pending_events() const { return live_; }
   [[nodiscard]] bool idle() const { return live_ == 0; }
+  /// Timestamp of the earliest pending bucket, or Nanos::max() when the
+  /// queue is empty. Conservative: a bucket holding only tombstoned events
+  /// still reports its time, so callers using this as a lookahead bound may
+  /// under-estimate the true next firing but never over-estimate it.
+  [[nodiscard]] Nanos next_event_time() const {
+    if (draining_ != kNoBucket) return buckets_[draining_].when;
+    return heap_.empty() ? Nanos::max() : heap_.top().when;
+  }
   /// Events fired over the simulator's lifetime — an always-on kernel stat
   /// benches export into the metrics registry.
   [[nodiscard]] std::uint64_t events_fired() const { return fired_; }
