@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "core/budget.hpp"
+#include "serve/feasibility_service.hpp"
 #include "tdd/common_config.hpp"
 
 using namespace u5g;
@@ -57,5 +58,10 @@ int main() {
               ok ? "CONFIRMED" : "NOT OBSERVED");
   std::printf("(the paper: \"achieving URLLC in FR1 is feasible, but necessitates strict\n"
               "hardware and software requirements\")\n");
+  // Every check_platform above asked the service for the same (DM, GF)
+  // protocol floor; all but the first are warm cache hits.
+  const auto stats = FeasibilityService::shared().stats();
+  std::printf("service: analytic cache hit rate %.0f%% over %llu queries\n",
+              100.0 * stats.analytic_hit_rate(), static_cast<unsigned long long>(stats.queries));
   return ok ? 0 : 1;
 }

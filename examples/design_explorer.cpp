@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "core/design_space.hpp"
+#include "serve/feasibility_service.hpp"
 
 using namespace u5g;
 
@@ -42,5 +43,13 @@ int main() {
   std::printf("\nthe paper's conclusion, reproduced: \"the set of possible system designs is\n"
               "quite limited, and some might not be practical once additional factors are\n"
               "considered.\"\n");
+
+  // Both sweeps above went through the feasibility-query service as one
+  // QueryBatch each; the second (viable_designs) re-asked the same questions
+  // and was answered from the analytic cache.
+  const auto stats = FeasibilityService::shared().stats();
+  std::printf("\nservice: %llu queries, analytic cache hit rate %.0f%%\n",
+              static_cast<unsigned long long>(stats.queries),
+              100.0 * stats.analytic_hit_rate());
   return 0;
 }

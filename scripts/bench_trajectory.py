@@ -22,6 +22,8 @@ Headline metrics:
   scaleout  - 1-thread ue_packets_per_s and events_per_s
   citywide  - events_per_s / ue_pkt_per_s / ues_per_core of the largest
               cells x background-UEs row of the sweep
+  serve     - sync and batched queries/s plus the analytic cache hit rate
+              of the feasibility-query service
 """
 
 from __future__ import annotations
@@ -57,6 +59,12 @@ def headline_metrics(run: dict) -> dict[str, float]:
             out["events_per_s"] = top["events_per_s"]
             out["ue_pkt_per_s"] = top["ue_pkt_per_s"]
             out["ues_per_core"] = top["ues_per_core"]
+    elif bench == "serve":
+        out["queries_per_s"] = run["queries_per_s"]
+        out["batch_queries_per_s"] = run["batch_queries_per_s"]
+        # hit rate is a correctness-adjacent headline: a drop means the
+        # canonical keys stopped deduplicating the sweep.
+        out["analytic_hit_rate"] = run["analytic_hit_rate"]
     else:
         raise SystemExit(f"bench_trajectory: unknown bench kind {bench!r}")
     if not out:

@@ -1,0 +1,80 @@
+#pragma once
+// Bounded least-recently-used cache.
+//
+// The feasibility-query service memoizes analytic worst-case results and
+// fixed-seed sim replication sets keyed on canonical config identity
+// (common/hashing.hpp). The cache is exact: keys compare by full value, the
+// hash only buckets — an eviction can cost a recomputation but can never
+// change an answer. Not thread-safe; callers that share one cache across
+// threads hold their own lock (the service serialises cache access and runs
+// the expensive compute outside the lock).
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+namespace u5g {
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class LruCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    [[nodiscard]] double hit_rate() const {
+      const std::uint64_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+    }
+  };
+
+  /// A zero capacity degenerates to "cache nothing" (every find misses).
+  explicit LruCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Lookup; a hit promotes the entry to most-recently-used. The returned
+  /// pointer is invalidated by the next insert().
+  [[nodiscard]] const Value* find(const Key& key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++stats_.misses;
+      return nullptr;
+    }
+    ++stats_.hits;
+    order_.splice(order_.begin(), order_, it->second);
+    return &it->second->second;
+  }
+
+  /// Insert (or overwrite) as most-recently-used, evicting from the LRU end
+  /// while over capacity.
+  void insert(const Key& key, Value value) {
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    if (capacity_ == 0) return;
+    order_.emplace_front(key, std::move(value));
+    index_.emplace(key, order_.begin());
+    while (index_.size() > capacity_) {
+      index_.erase(order_.back().first);
+      order_.pop_back();
+      ++stats_.evictions;
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return index_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  std::size_t capacity_;
+  std::list<std::pair<Key, Value>> order_;  ///< front = most recently used
+  std::unordered_map<Key, typename std::list<std::pair<Key, Value>>::iterator, Hash> index_;
+  Stats stats_;
+};
+
+}  // namespace u5g

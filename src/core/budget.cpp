@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "serve/feasibility_service.hpp"
+
 namespace u5g {
 
 namespace {
@@ -32,7 +34,7 @@ LatencyBudget compute_budget(const DuplexConfig& cfg, AccessMode mode, Nanos dea
   b.deadline = deadline;
   LatencyModelParams p;
   p.data_tx_symbols = data_tx_symbols;
-  const WorstCaseResult wc = analyze_worst_case(cfg, mode, p);
+  const WorstCaseResult wc = FeasibilityService::shared().worst_case(cfg, mode, p);
   b.protocol_floor = wc.worst;
   b.protocol_feasible = wc.feasible && wc.worst <= deadline;
   b.remaining = b.protocol_feasible ? deadline - wc.worst : Nanos::zero();

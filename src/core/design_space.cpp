@@ -1,8 +1,6 @@
 #include "core/design_space.hpp"
 
-#include <iterator>
-
-#include "sim/runner.hpp"
+#include "serve/feasibility_service.hpp"
 #include "tdd/common_config.hpp"
 #include "tdd/fdd.hpp"
 #include "tdd/mini_slot.hpp"
@@ -12,46 +10,20 @@ namespace u5g {
 namespace {
 
 /// All minimal-pattern TDD candidates plus mini-slot and FDD at µ.
-std::vector<std::unique_ptr<DuplexConfig>> candidates_at(Numerology num) {
-  std::vector<std::unique_ptr<DuplexConfig>> v;
+std::vector<std::shared_ptr<const DuplexConfig>> candidates_at(Numerology num) {
+  std::vector<std::shared_ptr<const DuplexConfig>> v;
   // The minimal 0.5 ms TDD period only exists where it is an integer number
   // of slots >= 2 (µ >= 1; at µ1 the 0.5 ms period is a single slot, which
   // cannot hold a D and a U part as separate slots — only the mixed forms).
   const int slots_in_half_ms = static_cast<int>(Nanos{500'000} / num.slot_duration());
   if (slots_in_half_ms >= 2) {
-    v.push_back(std::make_unique<TddCommonConfig>(TddCommonConfig::du(num)));
-    v.push_back(std::make_unique<TddCommonConfig>(TddCommonConfig::dm(num)));
-    v.push_back(std::make_unique<TddCommonConfig>(TddCommonConfig::mu(num)));
+    v.push_back(std::make_shared<TddCommonConfig>(TddCommonConfig::du(num)));
+    v.push_back(std::make_shared<TddCommonConfig>(TddCommonConfig::dm(num)));
+    v.push_back(std::make_shared<TddCommonConfig>(TddCommonConfig::mu(num)));
   }
-  v.push_back(std::make_unique<MiniSlotConfig>(num, 2));
-  v.push_back(std::make_unique<FddConfig>(num));
+  v.push_back(std::make_shared<MiniSlotConfig>(num, 2));
+  v.push_back(std::make_shared<FddConfig>(num));
   return v;
-}
-
-/// All design points of one numerology, in candidate x access-mode order.
-std::vector<DesignPoint> points_at(Numerology num, const DesignSpaceOptions& opt) {
-  std::vector<DesignPoint> out;
-  for (const auto& cfg : candidates_at(num)) {
-    const auto dl = analyze_worst_case(*cfg, AccessMode::Downlink, opt.model);
-    for (AccessMode ul : {AccessMode::GrantFreeUl, AccessMode::GrantBasedUl}) {
-      const auto wc = analyze_worst_case(*cfg, ul, opt.model);
-      DesignPoint pt;
-      pt.config_name = cfg->name();
-      pt.mu = num.mu();
-      pt.ul_mode = ul;
-      pt.worst_ul = wc.worst;
-      pt.worst_dl = dl.worst;
-      pt.meets_deadline = wc.feasible && dl.feasible && wc.worst <= opt.deadline &&
-                          dl.worst <= opt.deadline;
-      pt.available_to_private_5g = dynamic_cast<const FddConfig*>(cfg.get()) == nullptr;
-      if (const auto* ms = dynamic_cast<const MiniSlotConfig*>(cfg.get())) {
-        pt.standards_caveat = ms->violates_standard_recommendation();
-      }
-      pt.processing_radio_budget = num.slot_duration();
-      out.push_back(pt);
-    }
-  }
-  return out;
 }
 
 }  // namespace
@@ -64,16 +36,49 @@ std::vector<DesignPoint> explore_design_space(const DesignSpaceOptions& opt) {
     for (int mu = 0; mu <= 6; ++mu) nums.push_back(Numerology{mu});
   }
 
-  // Fan the per-numerology evaluation across the pool; flattening in
-  // numerology order reproduces the serial loop's output exactly.
-  auto parts = run_replications(
-      static_cast<int>(nums.size()), /*root_seed=*/0,
-      [&](int i, std::uint64_t) { return points_at(nums[static_cast<std::size_t>(i)], opt); },
-      {opt.threads});
+  // One service batch for the whole space: per candidate, one Downlink query
+  // (shared by both UL points) plus the two uplink modes. The batch comes
+  // back in request order, so assembly below reproduces the historical
+  // serial loop's point order exactly — numerology, then candidate, then
+  // GrantFreeUl before GrantBasedUl.
+  struct Slot {
+    std::shared_ptr<const DuplexConfig> cfg;
+    Numerology num;
+  };
+  std::vector<Slot> slots;
+  QueryBatch batch;
+  for (Numerology num : nums) {
+    for (auto& cfg : candidates_at(num)) {
+      for (AccessMode m :
+           {AccessMode::Downlink, AccessMode::GrantFreeUl, AccessMode::GrantBasedUl}) {
+        batch.push_back(FeasibilityQuery::analytic(cfg, m, opt.deadline, opt.model));
+      }
+      slots.push_back({std::move(cfg), num});
+    }
+  }
+  const std::vector<FeasibilityVerdict> verdicts = FeasibilityService::shared().query_batch(batch);
+
   std::vector<DesignPoint> out;
-  for (auto& part : parts) {
-    out.insert(out.end(), std::make_move_iterator(part.begin()),
-               std::make_move_iterator(part.end()));
+  out.reserve(slots.size() * 2);
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    const Slot& slot = slots[i];
+    const FeasibilityVerdict& dl = verdicts[3 * i];
+    for (std::size_t ul = 0; ul < 2; ++ul) {
+      const FeasibilityVerdict& v = verdicts[3 * i + 1 + ul];
+      DesignPoint pt;
+      pt.config_name = slot.cfg->name();
+      pt.mu = slot.num.mu();
+      pt.ul_mode = v.mode;
+      pt.worst_ul = v.worst_case.worst;
+      pt.worst_dl = dl.worst_case.worst;
+      pt.meets_deadline = v.analytic_meets && dl.analytic_meets;
+      pt.available_to_private_5g = dynamic_cast<const FddConfig*>(slot.cfg.get()) == nullptr;
+      if (const auto* ms = dynamic_cast<const MiniSlotConfig*>(slot.cfg.get())) {
+        pt.standards_caveat = ms->violates_standard_recommendation();
+      }
+      pt.processing_radio_budget = slot.num.slot_duration();
+      out.push_back(pt);
+    }
   }
   return out;
 }

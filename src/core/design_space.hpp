@@ -35,9 +35,9 @@ struct DesignSpaceOptions {
   Nanos deadline = kUrllcOneWayDeadline;
   LatencyModelParams model{};
   bool fr1_only = true;  ///< the paper's scope: FR2 fails reliability
-  /// Workers for the per-numerology fan-out (0 = hardware concurrency).
-  /// The result is identical at any thread count: points are collected in
-  /// numerology order, exactly as the serial loop emitted them.
+  /// Retained for source compatibility: the sweep now submits one
+  /// QueryBatch to `FeasibilityService::shared()`, whose pool sizes itself;
+  /// answers are pure values, identical at any worker count.
   int threads = 0;
 };
 

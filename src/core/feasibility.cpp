@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "serve/feasibility_service.hpp"
 #include "tdd/common_config.hpp"
 #include "tdd/fdd.hpp"
 #include "tdd/mini_slot.hpp"
@@ -17,21 +18,7 @@ const FeasibilityCell& FeasibilityColumn::cell(AccessMode m) const {
 
 FeasibilityColumn evaluate_config(const DuplexConfig& cfg, Nanos deadline,
                                   const LatencyModelParams& p) {
-  FeasibilityColumn col;
-  col.config_name = cfg.name();
-  col.period_render = cfg.render_period();
-  for (AccessMode m : {AccessMode::GrantBasedUl, AccessMode::GrantFreeUl, AccessMode::Downlink}) {
-    FeasibilityCell cell;
-    cell.mode = m;
-    cell.worst_case = analyze_worst_case(cfg, m, p);
-    cell.deadline = deadline;
-    cell.meets_deadline = cell.worst_case.feasible && cell.worst_case.worst <= deadline;
-    col.cells.push_back(cell);
-  }
-  if (const auto* ms = dynamic_cast<const MiniSlotConfig*>(&cfg)) {
-    col.standards_caveat = ms->violates_standard_recommendation();
-  }
-  return col;
+  return FeasibilityService::shared().evaluate_column(cfg, deadline, p);
 }
 
 std::vector<std::unique_ptr<DuplexConfig>> table1_configs() {

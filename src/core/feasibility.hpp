@@ -30,12 +30,17 @@ struct FeasibilityColumn {
 };
 
 /// Evaluate one configuration against `deadline` for all three access modes.
+/// Thin wrapper over `FeasibilityService::shared().evaluate_column` (see
+/// serve/feasibility_service.hpp) — the service is the one feasibility entry
+/// point; this name survives for offline/batch callers and stays bit-identical
+/// to the service's answers because it *is* the service's answer.
 [[nodiscard]] FeasibilityColumn evaluate_config(const DuplexConfig& cfg, Nanos deadline,
                                                 const LatencyModelParams& p = {});
 
 /// The five §5 candidates at numerology µ2 (the only FR1 numerology that can
 /// meet URLLC, per the paper's PHY analysis): DU, DM, MU, Mini-slot, FDD.
-/// Owning handles + evaluated columns — Table 1 end to end.
+/// Owning handles + evaluated columns — Table 1 end to end. Wrapper over the
+/// feasibility-query service, like `evaluate_config`.
 struct Table1 {
   std::vector<FeasibilityColumn> columns;
 };

@@ -1,5 +1,6 @@
 #include "core/multi_ue_model.hpp"
 
+#include "serve/feasibility_service.hpp"
 #include "tdd/opportunity.hpp"
 
 namespace u5g {
@@ -27,7 +28,7 @@ MultiUeModelResult predict_multi_ue_latency(const DuplexConfig& cfg,
 
   LatencyModelParams p = in.params;
   p.data_tx_symbols = in.tx_symbols;
-  const WorstCaseResult wc = analyze_worst_case(cfg, in.mode, p);
+  const WorstCaseResult wc = FeasibilityService::shared().worst_case(cfg, in.mode, p);
   r.protocol_mean = wc.mean;
 
   const double lambda = in.num_ues * in.per_ue_packets_per_second;

@@ -12,6 +12,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/hashing.hpp"
 #include "corenet/upf.hpp"
 #include "fault/scenario.hpp"
 #include "mac/configured_grant.hpp"
@@ -100,6 +101,27 @@ struct StackConfig {
   /// The §5 viable design: µ2 DM pattern, grant-free, PCIe radio, RT kernel,
   /// tight margin — the configuration the paper argues can meet URLLC.
   static StackConfig urllc_design(std::uint64_t seed = 1);
+
+  // -- Canonical identity ----------------------------------------------------
+  // Two StackConfigs with the same canonical identity produce bitwise-
+  // identical simulations: every knob participates by value, including the
+  // `duplex` handle, which is compared by its observable direction map
+  // (DuplexConfig::append_value_words) — never by pointer. This is what the
+  // feasibility-query service (src/serve/) keys its replication cache on,
+  // and the first way two configs can be compared at all.
+
+  /// Flatten every field into the canonical word stream (exact identity).
+  void append_canonical_words(CanonicalWords& words) const;
+  /// The full word stream as a value (LRU key material).
+  [[nodiscard]] CanonicalWords canonical_words() const;
+  /// Stable 64-bit key folded from the word stream. Equal configs always
+  /// collide; unequal configs collide with probability ~2^-64.
+  [[nodiscard]] std::uint64_t canonical_key() const;
+
+  /// Deep value equality over the canonical word stream (exact, collision-
+  /// free — two distinct shared_ptr instances to equal duplex patterns
+  /// compare equal).
+  friend bool operator==(const StackConfig& a, const StackConfig& b);
 };
 
 /// Historic name of the aggregate config, kept as an alias.

@@ -1,0 +1,145 @@
+#pragma once
+// The feasibility-query service: Table 1's verdict as a long-running,
+// cache-backed query engine.
+//
+// Layering (DESIGN §11):
+//   1. **Analytic fast path** — `analyze_worst_case` over the duplex
+//      pattern, memoized in an LRU keyed on the pattern's *value identity*
+//      (direction map + granularity, never the pointer), the same way the
+//      TBS table memoizes `prbs_needed`. Warm queries are a lock, a hash
+//      and a map probe; answers are bit-identical to offline
+//      `evaluate_config` because they are produced by the same code, once.
+//   2. **Sim-tail fallback** — stochastic quantiles the closed form cannot
+//      bound come from fixed-seed E2eSystem replications fanned over the
+//      PR-1 runner, merged in replication order (bitwise thread-count
+//      independent), cached in an LRU keyed on
+//      `StackConfig::canonical_words()` + mode + replication plan. The
+//      cache stores the merged *sample set*, so one sim run answers any
+//      (deadline, quantile) follow-up for the same stack.
+//   3. **Batch + async APIs** — whole sweeps submit as one `QueryBatch`
+//      (one pool job per query, results in request order); single queries
+//      can complete through a `std::future` or a callback.
+//
+// Thread safety: all public methods may be called concurrently. The caches
+// sit behind one mutex; compute runs outside the lock, so two racing misses
+// on the same key at worst compute the identical answer twice.
+//
+// Determinism contract: answers are pure functions of the query value.
+// Cache hits return the stored answer verbatim; evictions only ever cost a
+// recomputation of the same pure function. tests/test_serve.cpp pins all of
+// this (bit-identity vs offline, hit == miss, 1/2/8-thread tails, eviction
+// invariance).
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/hashing.hpp"
+#include "common/lru.hpp"
+#include "common/stats.hpp"
+#include "common/thread_pool.hpp"
+#include "core/feasibility.hpp"
+#include "serve/query.hpp"
+
+namespace u5g {
+
+class FeasibilityService {
+ public:
+  struct Options {
+    std::size_t analytic_cache_capacity = 1 << 16;  ///< worst-case results
+    std::size_t tail_cache_capacity = 512;          ///< merged sim sample sets
+    /// Workers for batch/async completion (0 = hardware concurrency). The
+    /// pool spins up lazily on the first batch/async call; purely synchronous
+    /// use never starts a thread.
+    int threads = 0;
+    /// Replication fan-out for a *synchronous* query's sim tail (0 =
+    /// hardware concurrency). Batch/async jobs always run their replications
+    /// inline — the batch is already parallel — which the runner contract
+    /// makes bitwise-identical to any other thread count.
+    int sim_threads = 0;
+  };
+
+  struct Stats {
+    std::uint64_t queries = 0;          ///< total queries answered
+    std::uint64_t analytic_hits = 0;
+    std::uint64_t analytic_misses = 0;
+    std::uint64_t tail_hits = 0;
+    std::uint64_t tail_misses = 0;
+    std::uint64_t evictions = 0;        ///< both caches
+    [[nodiscard]] double analytic_hit_rate() const {
+      const std::uint64_t t = analytic_hits + analytic_misses;
+      return t == 0 ? 0.0 : static_cast<double>(analytic_hits) / static_cast<double>(t);
+    }
+  };
+
+  FeasibilityService() : FeasibilityService(Options{}) {}
+  explicit FeasibilityService(Options opt);
+  ~FeasibilityService();
+  FeasibilityService(const FeasibilityService&) = delete;
+  FeasibilityService& operator=(const FeasibilityService&) = delete;
+
+  // -- Query APIs ------------------------------------------------------------
+
+  /// Answer one query synchronously. Sim tails fan their replications over
+  /// `Options::sim_threads` workers.
+  [[nodiscard]] FeasibilityVerdict query(const FeasibilityQuery& q);
+
+  /// Answer one query on the service pool; completion via std::future.
+  [[nodiscard]] std::future<FeasibilityVerdict> query_async(FeasibilityQuery q);
+
+  /// Answer a whole sweep: one pool job per query, verdicts returned in
+  /// request order (batch[i] -> result[i]).
+  [[nodiscard]] std::vector<FeasibilityVerdict> query_batch(const QueryBatch& batch);
+
+  /// Batch with callback completion: `done` runs on a pool worker once every
+  /// verdict is in, receiving them in request order.
+  void query_batch_async(QueryBatch batch,
+                         std::function<void(std::vector<FeasibilityVerdict>)> done);
+
+  // -- Compatibility surface for the offline wrappers ------------------------
+
+  /// Memoized analytic worst case for one (pattern, mode, model) — the fast
+  /// path without verdict assembly. Bit-identical to `analyze_worst_case`.
+  [[nodiscard]] WorstCaseResult worst_case(const DuplexConfig& cfg, AccessMode mode,
+                                           const LatencyModelParams& p = {},
+                                           int grid_per_symbol = 4);
+
+  /// One Table 1 column through the service (what `evaluate_config` wraps):
+  /// all three access modes against `deadline`, cells in the historical
+  /// GrantBasedUl, GrantFreeUl, Downlink order.
+  [[nodiscard]] FeasibilityColumn evaluate_column(const DuplexConfig& cfg, Nanos deadline,
+                                                  const LatencyModelParams& p = {});
+
+  [[nodiscard]] Stats stats() const;
+
+  /// Process-wide instance behind the thin offline wrappers
+  /// (`evaluate_config`, `build_table1`, `compute_budget`). Lazy; never
+  /// starts threads unless someone uses its batch/async APIs.
+  static FeasibilityService& shared();
+
+ private:
+  /// Merged fixed-seed replication output — the tail cache value. Stored
+  /// once per (stack, mode, plan); quantile/deadline are applied per query.
+  struct TailSamples {
+    SampleSet latency_us;     ///< delivered one-way latencies, merge order
+    std::size_t offered = 0;  ///< replications x packets
+  };
+
+  [[nodiscard]] FeasibilityVerdict answer(const FeasibilityQuery& q, int sim_threads);
+  [[nodiscard]] TailSamples run_tail(const SimTailSpec& spec, AccessMode mode, int sim_threads);
+  [[nodiscard]] ThreadPool& pool();
+
+  Options opt_;
+  mutable std::mutex mu_;  ///< guards caches_, stats_
+  LruCache<CanonicalWords, WorstCaseResult, CanonicalWordsHash> analytic_;
+  LruCache<CanonicalWords, TailSamples, CanonicalWordsHash> tail_;
+  std::uint64_t queries_ = 0;
+  std::mutex pool_mu_;  ///< guards lazy pool_ creation
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace u5g

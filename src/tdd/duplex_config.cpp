@@ -29,4 +29,42 @@ bool DuplexConfig::slot_has_ul(SlotIndex slot) const {
   return false;
 }
 
+void DuplexConfig::append_value_words(CanonicalWords& words) const {
+  words.add_signed(numerology().mu());
+  words.add_signed(period_slots());
+  words.add_signed(control_granularity_symbols());
+  words.add_signed(control_symbols());
+  // The direction map, two bits per symbol packed into words: bit 0 = DL
+  // capability, bit 1 = UL capability, in (slot, symbol) order.
+  std::uint64_t w = 0;
+  int bits = 0;
+  for (int s = 0; s < period_slots(); ++s) {
+    for (int k = 0; k < kSymbolsPerSlot; ++k) {
+      const std::uint64_t sym = (dl_capable(s, k) ? 1u : 0u) | (ul_capable(s, k) ? 2u : 0u);
+      w |= sym << bits;
+      bits += 2;
+      if (bits == 64) {
+        words.add(w);
+        w = 0;
+        bits = 0;
+      }
+    }
+  }
+  if (bits > 0) words.add(w);
+}
+
+std::uint64_t DuplexConfig::value_hash() const {
+  CanonicalWords words;
+  append_value_words(words);
+  return words.hash();
+}
+
+bool value_equal(const DuplexConfig& a, const DuplexConfig& b) {
+  if (&a == &b) return true;
+  CanonicalWords wa, wb;
+  a.append_value_words(wa);
+  b.append_value_words(wb);
+  return wa == wb;
+}
+
 }  // namespace u5g

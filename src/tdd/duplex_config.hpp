@@ -9,9 +9,11 @@
 // this interface; the worst-case engine (src/core) and the MAC scheduler
 // are written against it.
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
+#include "common/hashing.hpp"
 #include "common/time.hpp"
 #include "phy/frame_structure.hpp"
 #include "phy/numerology.hpp"
@@ -59,6 +61,20 @@ class DuplexConfig {
     return num_.slot_duration() * period_slots();
   }
 
+  // -- Value identity --------------------------------------------------------
+  // Everything the latency analysis can observe about a duplex configuration
+  // is its numerology, scheduling granularity, control overhead, and the
+  // per-symbol direction map over one period. Two configs with identical
+  // observables are interchangeable for every worst-case and simulation
+  // result, whatever their concrete type or heap address — the canonical
+  // identity the feasibility-query cache keys on. (`name()` is
+  // presentational and deliberately not part of the identity.)
+
+  /// Append this config's observable value identity to `words`.
+  void append_value_words(CanonicalWords& words) const;
+  /// Stable 64-bit fold of the value identity.
+  [[nodiscard]] std::uint64_t value_hash() const;
+
  protected:
   explicit DuplexConfig(Numerology n) : num_(n) {}
   // Copy/move are protected: concrete configs are value types, but copying
@@ -69,5 +85,9 @@ class DuplexConfig {
  private:
   Numerology num_;
 };
+
+/// Deep value equality over the observable identity (see append_value_words).
+/// Exact — compares the full direction map, never just a hash.
+[[nodiscard]] bool value_equal(const DuplexConfig& a, const DuplexConfig& b);
 
 }  // namespace u5g
