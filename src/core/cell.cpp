@@ -72,6 +72,12 @@ void Cell::set_neighbor_load(double equivalent_ues) {
   apply_load();
 }
 
+double Cell::dl_upgrade_activity() const { return sys_->dl_upgrade_activity(); }
+
+void Cell::set_crosslink(double aggregate_activity) {
+  sys_->set_crosslink_dl_activity(aggregate_activity);
+}
+
 void Cell::apply_load() {
   sys_->set_external_load_ues(neighbor_load_ + (pop_ ? pop_->load_ues() : 0.0));
 }

@@ -83,6 +83,13 @@ class Cell {
   /// at the barrier; effective from the next window's processing draws.
   /// Combined with the own-population backlog load before reaching the gNB.
   void set_neighbor_load(double equivalent_ues);
+  /// Added-DL symbol fraction of this cell's latest dynamic-TDD commit —
+  /// the cross-link interference signal neighbours' uplinks face. Pinned at
+  /// zero while `dynamic_tdd.enabled` is false.
+  [[nodiscard]] double dl_upgrade_activity() const;
+  /// Apply the aggregate neighbour DL-upgrade activity exchanged at the
+  /// barrier; scales UL loss through `dynamic_tdd.xlink_ul_bler`.
+  void set_crosslink(double aggregate_activity);
 
  private:
   void apply_load();

@@ -1,7 +1,9 @@
 #include "core/e2e_system.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <deque>
+#include <optional>
 #include <utility>
 
 #include "common/bytes.hpp"
@@ -9,9 +11,11 @@
 #include "common/taxonomy.hpp"
 #include "mac/bsr.hpp"
 #include "mac/mac_pdu.hpp"
+#include "mac/preemption.hpp"
 #include "mac/ue_pool.hpp"
 #include "node/pipeline.hpp"
 #include "phy/transport_block.hpp"
+#include "tdd/dynamic_format.hpp"
 #include "tdd/opportunity.hpp"
 
 namespace u5g {
@@ -41,6 +45,11 @@ constexpr std::array<const char*, 6> kGnbLayerSpan = {"gNB SDAP", "gNB PDCP", "g
                                                       "gNB MAC",  "gNB PHY",  "gNB APP"};
 constexpr std::array<const char*, 6> kUeLayerSpan = {"UE SDAP", "UE PDCP", "UE RLC",
                                                      "UE MAC",  "UE PHY",  "UE APP"};
+
+/// Cross-link RNG streams live beside — never inside — the main stream:
+/// seeded from seed ^ salt so enabling the dynamic policy with zero
+/// interference perturbs no tracked draw ("crosslnk" in ASCII).
+constexpr std::uint64_t kCrosslinkSalt = 0x63726f'73736c'6e6bULL;
 
 }  // namespace
 
@@ -118,6 +127,11 @@ struct E2eSystem::Impl {
 
   StackConfig cfg;
   E2eSystem& owner;
+  /// Non-null iff cfg.dynamic_tdd.enabled: the overlay wrapper swapped into
+  /// cfg.duplex before any other member binds to the duplex map, so the
+  /// scheduler, SR and configured-grant machinery all see committed upgrades
+  /// through the one shared handle.
+  std::shared_ptr<DynamicDuplexConfig> dyn;
   Simulator sim;
   Rng rng;
   NodeStack gnb;
@@ -138,6 +152,15 @@ struct E2eSystem::Impl {
   std::uint64_t missed_grants = 0;
   std::uint64_t harq_dropped = 0;   ///< TBs dropped: HARQ budget exhausted
   std::uint64_t stranded_drops = 0; ///< TBs/SDUs dropped: no opportunity in cap
+
+  // -- Dynamic TDD state (all inert when cfg.dynamic_tdd.enabled is false) --
+  std::optional<DynamicFormatPolicy> policy;  ///< engaged iff dynamic enabled
+  PreemptionLedger ledger;                    ///< staged DL TBs (preemption on)
+  Rng xlink_rng;                              ///< dedicated cross-link stream
+  double xlink_activity = 0.0;       ///< aggregate neighbour DL-upgrade activity
+  double dl_upgrade_activity = 0.0;  ///< own latest committed slot's added-DL fraction
+  std::uint64_t punctured_retx = 0;  ///< eMBB TBs re-entered via puncture
+  std::uint64_t xlink_losses = 0;    ///< UL transmissions lost to cross-link
 
   // In-flight accounting for the scale-out load signal (sim/sharded.hpp).
   std::uint64_t packets_started = 0;
@@ -163,15 +186,28 @@ struct E2eSystem::Impl {
     Counter* f_stall = nullptr;
     Counter* f_upf_drop = nullptr;
     Counter* f_upf_delay = nullptr;
+    Counter* punctured = nullptr;
+    Counter* xlink_loss = nullptr;
     LatencyHistogram* ul_latency = nullptr;
     LatencyHistogram* dl_latency = nullptr;
     LatencyHistogram* rlc_q = nullptr;
     std::array<LatencyHistogram*, 6> gnb_layer{};
   } m;
 
+  /// Wraps the static duplex in the dynamic overlay (and swaps the handle)
+  /// when the policy is enabled; runs during member init, before `sched`
+  /// binds its reference.
+  static std::shared_ptr<DynamicDuplexConfig> wrap_dynamic(StackConfig& cfg) {
+    if (!cfg.dynamic_tdd.enabled) return nullptr;
+    auto wrapped = std::make_shared<DynamicDuplexConfig>(cfg.duplex);
+    cfg.duplex = wrapped;
+    return wrapped;
+  }
+
   Impl(StackConfig c, E2eSystem& own)
       : cfg(std::move(c)),
         owner(own),
+        dyn(wrap_dynamic(cfg)),
         rng(cfg.seed),
         gnb(cfg.gnb_proc, cfg.gnb_radio, cfg.phy, cfg.rlc_mode, rng.fork(),
             std::max(cfg.num_ues, 1)),
@@ -181,7 +217,8 @@ struct E2eSystem::Impl {
         // seeder — NOT from `rng` — so configuring faults perturbs no
         // existing draw sequence (golden-file equivalence when disabled).
         faults(cfg.faults, cfg.seed),
-        slot_dur(cfg.duplex->numerology().slot_duration()) {
+        slot_dur(cfg.duplex->numerology().slot_duration()),
+        xlink_rng(hash_mix64(cfg.seed ^ kCrosslinkSalt)) {
     const FiveQi qos = urllc_five_qi();
     gnb.compute.sdap.configure_flow(kQfi, BearerId{1}, qos);
     mac_pool.resize(static_cast<std::size_t>(std::max(cfg.num_ues, 1)));
@@ -211,6 +248,10 @@ struct E2eSystem::Impl {
       m.f_stall = &metrics.counter("fault.radio_bus_stalls");
       m.f_upf_drop = &metrics.counter("fault.upf_drops");
       m.f_upf_delay = &metrics.counter("fault.upf_delays");
+      if (cfg.dynamic_tdd.enabled) {
+        m.punctured = &metrics.counter("harq.punctured_retx");
+        m.xlink_loss = &metrics.counter("xlink.ul_losses");
+      }
       m.ul_latency = &metrics.histogram("latency.ul_ns");
       m.dl_latency = &metrics.histogram("latency.dl_ns");
       m.rlc_q = &metrics.histogram("gnb.rlc_queue_wait_ns");
@@ -219,6 +260,67 @@ struct E2eSystem::Impl {
             std::string("gnb.layer_ns.") + std::string(to_string(static_cast<Layer>(i))));
       }
     }
+    if (cfg.dynamic_tdd.enabled) {
+      policy.emplace(dyn->base(), cfg.dynamic_tdd);
+      sim.schedule_at(Nanos::zero(), [this] { dynamic_tick(); });
+    }
+  }
+
+  // -- Dynamic TDD ----------------------------------------------------------
+
+  [[nodiscard]] bool preemption_on() const {
+    return cfg.dynamic_tdd.enabled && cfg.dynamic_tdd.preemption;
+  }
+
+  /// MAC-observable queue state at a slot boundary. Pure reads: gathering it
+  /// draws nothing and mutates nothing, so the decision tick is invisible
+  /// when it commits no upgrade.
+  [[nodiscard]] TddQueueState gather_queue_state() {
+    TddQueueState q;
+    q.sr_pending = static_cast<std::uint32_t>(UeMacPool::count_set(mac_pool.sr_pending_row()));
+    q.cg_armed = static_cast<std::uint32_t>(UeMacPool::count_set(mac_pool.cg_scheduled_row()));
+    mac_pool.for_each_retx(
+        [&](std::size_t, std::uint32_t depth) { q.ul_retx_tbs += depth; });
+    for (const auto& ue : ues) {
+      q.ul_queued_sdus +=
+          static_cast<std::uint32_t>(ue->stack.uplink().rlc_tx.queued_sdus());
+      q.dl_queued_sdus += static_cast<std::uint32_t>(
+          gnb.downlink(static_cast<std::size_t>(ue->index)).rlc_tx.queued_sdus());
+    }
+    q.dl_inflight_tbs = ledger.inflight_at(sim.now());
+    return q;
+  }
+
+  /// The per-slot decision event: observe at the boundary of slot k, commit
+  /// slot k + guard. Self-rescheduling; only ever armed when the policy is
+  /// enabled, so disabled runs schedule zero extra events.
+  void dynamic_tick() {
+    const SlotClock clk = cfg.duplex->clock();
+    const SlotIndex k = clk.slot_at(sim.now());
+    const DecidedFormat f = policy->decide(k, gather_queue_state());
+    dyn->commit(k + policy->config().guard_slots, f);
+    dl_upgrade_activity =
+        static_cast<double>(std::popcount(f.added_dl)) / static_cast<double>(kSymbolsPerSlot);
+    sim.schedule_at(clk.slot_start(k + 1), [this] { dynamic_tick(); });
+  }
+
+  /// Extra UL loss from neighbouring cells' DL-upgraded slots. Zero draws
+  /// unless both the knob and the exchanged activity are non-zero, keeping
+  /// single-cell runs and disabled configs bitwise identical.
+  bool crosslink_ul_lost() {
+    const double p = cfg.dynamic_tdd.xlink_ul_bler * xlink_activity;
+    if (p <= 0.0) return false;
+    if (!xlink_rng.bernoulli(std::min(p, 1.0))) return false;
+    ++xlink_losses;
+    if (m.xlink_loss != nullptr) m.xlink_loss->inc();
+    return true;
+  }
+
+  /// One punctured TB re-entered HARQ (never called on terminal drops: the
+  /// counter tallies re-entries only, on the side of the loss identity).
+  void count_punctured_retx() {
+    ++punctured_retx;
+    if (m.punctured != nullptr) m.punctured->inc();
   }
 
   PacketRecord& rec(std::size_t idx) { return owner.records_[idx]; }
@@ -505,7 +607,10 @@ struct E2eSystem::Impl {
     // right away when backlog remains (it need not wait for the gNB).
     if (cfg.grant_free && rlc.has_data()) schedule_cg_service(ue);
 
-    const bool lost = channel_lost();
+    bool lost = channel_lost();
+    // Cross-link interference: a neighbouring cell's DL-upgraded slot facing
+    // this UL transmission (sharded engine, dynamic TDD).
+    if (!lost && crosslink_ul_lost()) lost = true;
     const Nanos air_end = grant.tx_end;
     if (lost && attempt < cfg.harq_max_tx) {
       // NACK path: keep the TB, and after the feedback delay retransmit on
@@ -580,7 +685,8 @@ struct E2eSystem::Impl {
     UeCtx::RetxTb entry = std::move(ue.retx_queue.front());
     ue.retx_queue.pop_front();
     ue.retx_depth = static_cast<std::uint32_t>(ue.retx_queue.size());
-    const bool lost = channel_lost();
+    bool lost = channel_lost();
+    if (!lost && crosslink_ul_lost()) lost = true;
     if (lost && entry.attempt < cfg.harq_max_tx) {
       tracer.span_to(ue.ul_trace, "UL data over the air (lost)", LatencyCategory::Protocol,
                      grant.tx_end);
@@ -756,6 +862,28 @@ struct E2eSystem::Impl {
   void schedule_dl_service(UeCtx& ue, Nanos ready, int stranded_retries = 0) {
     const std::size_t tb = cfg.payload_bytes + cfg.dl_tb_slack;
     const auto plan = sched.plan_dl(ue.id, ready, tb);
+    // URLLC preemption (UE 0 is the URLLC bearer by convention): if an
+    // in-flight eMBB TB holds an air window the URLLC data can still make —
+    // and it beats the scheduler's natural assignment — puncture it. The
+    // victim's transmission resolves as a deterministic loss and re-enters
+    // HARQ (see transmit_dl); the URLLC TB takes the stolen window.
+    if (preemption_on() && ue.index == 0) {
+      // Stealable: any staged window that has not started transmitting by
+      // the time the URLLC data is ready. (Staging happens radio_lead ahead
+      // of the air window, so `ready + total_lead` would always overshoot
+      // every registered entry — the preemption gain *is* skipping that
+      // staging lead via the puncturing indication.)
+      const Nanos natural = plan ? plan->tx_start : Nanos::max();
+      const auto victim = ledger.puncture_earliest(0, ready, natural);
+      if (victim) {
+        const DlAssignment a{ue.id, victim->tx_start, victim->tx_end, tb, HarqId{0}};
+        tracer.span_to(ue.dl_trace, "URLLC preemption: stolen DL window",
+                       LatencyCategory::Protocol, sim.now());
+        const Nanos pull_time = std::max(sim.now(), a.tx_start - sched.params().radio_lead);
+        sim.schedule_at(pull_time, [this, &ue, a] { serve_dl(ue, a, 1, /*stolen=*/true); });
+        return;
+      }
+    }
     if (!plan) {
       // DL twin of the stranded-UL fix: no assignment inside the planner's
       // horizon (a DL-starved pattern). Re-arm one slot later; past the cap,
@@ -775,7 +903,7 @@ struct E2eSystem::Impl {
     sim.schedule_at(pull_time, [this, &ue, a] { serve_dl(ue, a, 1); });
   }
 
-  void serve_dl(UeCtx& ue, const DlAssignment& original, int attempt) {
+  void serve_dl(UeCtx& ue, const DlAssignment& original, int attempt, bool stolen = false) {
     DlAssignment a = original;
     a.tb_bytes = std::min(a.tb_bytes, window_capacity_bytes(a));
     const std::size_t chain = static_cast<std::size_t>(ue.index);
@@ -794,6 +922,11 @@ struct E2eSystem::Impl {
     sub.push_back(MacSubPdu{Lcid::Drb1, std::move(pulled->pdu)});
     ByteBuffer tb = build_mac_pdu(sub, a.tb_bytes);
 
+    // Stage the transmission in the preemption ledger: from here until the
+    // air window completes, a URLLC arrival may steal it.
+    const std::uint64_t token =
+        preemption_on() ? ledger.register_tx(ue.index, a.tx_start, a.tx_end) : 0;
+
     // If segmentation left data behind, plan the remainder immediately.
     if (gnb.downlink(chain).rlc_tx.has_data()) schedule_dl_service(ue, sim.now());
 
@@ -808,19 +941,37 @@ struct E2eSystem::Impl {
     const Nanos encode =
         gnb.compute.phy.encode_time(static_cast<int>(a.tb_bytes * 8)) + phy_draw;
     tracer.span_for(ue.dl_trace, "gNB PHY encode", LatencyCategory::Processing, encode);
-    sim.schedule_after(encode, [this, &ue, a, attempt, tb = std::move(tb)]() mutable {
-      const auto n_samples = samples_of(gnb.compute.radio, a.tx_end - a.tx_start);
-      TxPreparation prep = gnb.compute.radio.prepare_tx(sim.now(), n_samples, a.tx_start);
-      // A bus stall extends the sample transfer: it erodes the §4 margin and
-      // can push the buffer past the air deadline.
-      prep.ready_at += fault_bus_stall(ue.dl_trace, /*trace_span=*/false);
-      prep.on_time = prep.ready_at <= a.tx_start;
+    sim.schedule_after(encode, [this, &ue, a, attempt, token, stolen,
+                                tb = std::move(tb)]() mutable {
+      // A stolen (punctured) window skips the radio staging pipeline: the
+      // victim's sample buffer already sits at the radio head on time, and
+      // the puncture overwrites its resource elements in place at line rate
+      // (the TS 38.214 §5.1.4 preemption-indication mechanism). Only the
+      // PHY encode must still beat the air deadline.
+      TxPreparation prep{};
+      if (stolen) {
+        prep.ready_at = sim.now();
+        prep.on_time = sim.now() <= a.tx_start;
+        if (prep.on_time) {
+          tracer.span_to(ue.dl_trace, "PHY puncture overwrite (in place)",
+                         LatencyCategory::Radio, sim.now());
+        }
+      } else {
+        const auto n_samples = samples_of(gnb.compute.radio, a.tx_end - a.tx_start);
+        prep = gnb.compute.radio.prepare_tx(sim.now(), n_samples, a.tx_start);
+        // A bus stall extends the sample transfer: it erodes the §4 margin
+        // and can push the buffer past the air deadline.
+        prep.ready_at += fault_bus_stall(ue.dl_trace, /*trace_span=*/false);
+        prep.on_time = prep.ready_at <= a.tx_start;
+      }
       if (!prep.on_time) {
         // Samples missed the slot: corrupted signal (§4). Count it and treat
         // as a lost transmission — retransmit if budget remains.
         ++owner.radio_deadline_misses_;
         if (m.radio_miss != nullptr) m.radio_miss->inc();
+        const bool was_punctured = token != 0 && ledger.consume(token);
         if (attempt < cfg.harq_max_tx) {
+          if (was_punctured) count_punctured_retx();
           requeue_dl_tb(ue, std::move(tb), prep.ready_at, attempt + 1);
         } else {
           drop_tb_harq(ue.dl_trace);  // budget exhausted on deadline misses
@@ -830,7 +981,7 @@ struct E2eSystem::Impl {
       tracer.span_to(ue.dl_trace, "gNB radio TX chain", LatencyCategory::Radio,
                      std::min(prep.ready_at, a.tx_start));
       tracer.span_to(ue.dl_trace, "wait for DL slot", LatencyCategory::Protocol, a.tx_start);
-      transmit_dl(ue, a, std::move(tb), attempt);
+      transmit_dl(ue, a, std::move(tb), attempt, token);
     });
   }
 
@@ -858,9 +1009,11 @@ struct E2eSystem::Impl {
     sim.schedule_at(pull_time, [this, &ue, a, attempt, tb = std::move(tb)]() mutable {
       tracer.span_to(ue.dl_trace, "wait for re-planned DL slot", LatencyCategory::Protocol,
                      sim.now());
+      const std::uint64_t token =
+          preemption_on() ? ledger.register_tx(ue.index, a.tx_start, a.tx_end) : 0;
       const Nanos encode = gnb.compute.phy.encode_time(static_cast<int>(a.tb_bytes * 8));
       tracer.span_for(ue.dl_trace, "gNB PHY encode", LatencyCategory::Processing, encode);
-      sim.schedule_after(encode, [this, &ue, a, attempt, tb = std::move(tb)]() mutable {
+      sim.schedule_after(encode, [this, &ue, a, attempt, token, tb = std::move(tb)]() mutable {
         const auto n_samples = samples_of(gnb.compute.radio, a.tx_end - a.tx_start);
         TxPreparation prep = gnb.compute.radio.prepare_tx(sim.now(), n_samples, a.tx_start);
         prep.ready_at += fault_bus_stall(ue.dl_trace, /*trace_span=*/false);
@@ -868,7 +1021,9 @@ struct E2eSystem::Impl {
         if (!prep.on_time) {
           ++owner.radio_deadline_misses_;
           if (m.radio_miss != nullptr) m.radio_miss->inc();
+          const bool was_punctured = token != 0 && ledger.consume(token);
           if (attempt < cfg.harq_max_tx) {
+            if (was_punctured) count_punctured_retx();
             requeue_dl_tb(ue, std::move(tb), prep.ready_at, attempt + 1);
           } else {
             drop_tb_harq(ue.dl_trace);
@@ -878,12 +1033,13 @@ struct E2eSystem::Impl {
         tracer.span_to(ue.dl_trace, "gNB radio TX chain", LatencyCategory::Radio,
                        std::min(prep.ready_at, a.tx_start));
         tracer.span_to(ue.dl_trace, "wait for DL slot", LatencyCategory::Protocol, a.tx_start);
-        transmit_dl(ue, a, std::move(tb), attempt);
+        transmit_dl(ue, a, std::move(tb), attempt, token);
       });
     });
   }
 
-  void transmit_dl(UeCtx& ue, const DlAssignment& a, ByteBuffer tb, int attempt) {
+  void transmit_dl(UeCtx& ue, const DlAssignment& a, ByteBuffer tb, int attempt,
+                   std::uint64_t token = 0) {
     const bool lost = channel_lost();
     if (lost) {
       if (attempt < cfg.harq_max_tx) {
@@ -892,16 +1048,37 @@ struct E2eSystem::Impl {
         tracer.span_to(ue.dl_trace, "HARQ feedback wait", LatencyCategory::Protocol,
                        a.tx_end + cfg.harq_feedback_delay);
         sim.schedule_at(a.tx_end + cfg.harq_feedback_delay,
-                        [this, &ue, tb = std::move(tb), attempt]() mutable {
+                        [this, &ue, tb = std::move(tb), attempt, token]() mutable {
+                          // Lost *and* punctured resolves as one re-entry.
+                          if (token != 0 && ledger.consume(token)) count_punctured_retx();
                           requeue_dl_tb(ue, std::move(tb), sim.now(), attempt + 1);
                         });
       } else {
+        if (token != 0) (void)ledger.consume(token);
         drop_tb_harq(ue.dl_trace);  // budget exhausted
       }
       return;
     }
     tracer.span_to(ue.dl_trace, "DL data over the air", LatencyCategory::Protocol, a.tx_end);
-    sim.schedule_at(a.tx_end, [this, &ue, a, tb = std::move(tb), attempt]() mutable {
+    sim.schedule_at(a.tx_end, [this, &ue, a, tb = std::move(tb), attempt, token]() mutable {
+      if (token != 0 && ledger.consume(token)) {
+        // A URLLC arrival stole this TB's air window: the transmission
+        // behaves exactly like a lost one and re-enters HARQ.
+        if (attempt < cfg.harq_max_tx) {
+          count_punctured_retx();
+          tracer.span_to(ue.dl_trace, "DL TB punctured by URLLC", LatencyCategory::Protocol,
+                         a.tx_end);
+          tracer.span_to(ue.dl_trace, "HARQ feedback wait", LatencyCategory::Protocol,
+                         a.tx_end + cfg.harq_feedback_delay);
+          sim.schedule_at(a.tx_end + cfg.harq_feedback_delay,
+                          [this, &ue, tb = std::move(tb), attempt]() mutable {
+                            requeue_dl_tb(ue, std::move(tb), sim.now(), attempt + 1);
+                          });
+        } else {
+          drop_tb_harq(ue.dl_trace);  // punctured with no budget left
+        }
+        return;
+      }
       const Nanos rx = ue.stack.compute.radio.rx_delivery_latency(
           samples_of(ue.stack.compute.radio, a.tx_end - a.tx_start));
       tracer.span_for(ue.dl_trace, "UE radio RX chain", LatencyCategory::Radio, rx);
@@ -1014,6 +1191,20 @@ std::uint64_t E2eSystem::packets_delivered() const { return impl_->packets_deliv
 
 std::uint64_t E2eSystem::harq_dropped_tbs() const { return impl_->harq_dropped; }
 std::uint64_t E2eSystem::stranded_drops() const { return impl_->stranded_drops; }
+std::uint64_t E2eSystem::punctured_retx() const { return impl_->punctured_retx; }
+std::uint64_t E2eSystem::crosslink_ul_losses() const { return impl_->xlink_losses; }
+
+const DuplexConfig& E2eSystem::effective_duplex() const { return *impl_->cfg.duplex; }
+
+std::uint64_t E2eSystem::dynamic_upgraded_slots() const {
+  return impl_->policy ? impl_->policy->upgraded_slots() : 0;
+}
+
+double E2eSystem::dl_upgrade_activity() const { return impl_->dl_upgrade_activity; }
+
+void E2eSystem::set_crosslink_dl_activity(double aggregate_activity) {
+  impl_->xlink_activity = aggregate_activity;
+}
 
 E2eSystem::MacBacklog E2eSystem::mac_backlog() const {
   MacBacklog b;

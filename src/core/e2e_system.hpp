@@ -101,6 +101,13 @@ class E2eSystem {
   [[nodiscard]] std::uint64_t harq_dropped_tbs() const;
   /// TBs/SDUs dropped after the stranded-retry cap: no opportunity found.
   [[nodiscard]] std::uint64_t stranded_drops() const;
+  /// eMBB DL TBs whose air window a URLLC arrival punctured and that
+  /// re-entered HARQ (dynamic_tdd.preemption). Punctures are re-entries,
+  /// never terminal: the identity above stays exact with this on the side.
+  [[nodiscard]] std::uint64_t punctured_retx() const;
+  /// UL transmissions lost to neighbouring-cell cross-link interference
+  /// (dynamic_tdd.xlink_ul_bler × neighbour DL-upgrade activity).
+  [[nodiscard]] std::uint64_t crosslink_ul_losses() const;
   /// Injected-fault tallies (all zero when `StackConfig::faults` is empty).
   [[nodiscard]] FaultInjector::Counters fault_counters() const;
 
@@ -133,6 +140,22 @@ class E2eSystem {
   /// sharded engine applies the neighbour-cell load signal here at every
   /// slot barrier.
   void set_external_load_ues(double extra_ues);
+
+  // -- Dynamic TDD (tdd/dynamic_format.hpp) ---------------------------------
+  // All of these are inert when `StackConfig::dynamic_tdd.enabled` is false:
+  // no decision events, no extra RNG draws, activity pinned at zero.
+
+  /// The duplex map the MAC actually schedules against: the committed
+  /// dynamic overlay when the policy is enabled, the static config otherwise.
+  [[nodiscard]] const DuplexConfig& effective_duplex() const;
+  /// Slots committed with at least one upgraded symbol so far.
+  [[nodiscard]] std::uint64_t dynamic_upgraded_slots() const;
+  /// Added-DL symbol fraction of the most recently committed slot — the
+  /// cross-link interference a neighbouring cell's uplink faces.
+  [[nodiscard]] double dl_upgrade_activity() const;
+  /// Aggregate neighbour DL-upgrade activity, set by the sharded engine at
+  /// slot barriers; scales UL loss by `dynamic_tdd.xlink_ul_bler`.
+  void set_crosslink_dl_activity(double aggregate_activity);
 
  private:
   struct Impl;

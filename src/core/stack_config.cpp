@@ -154,6 +154,12 @@ void StackConfig::append_canonical_words(CanonicalWords& w) const {
   w.add_bool(trace.enabled);
   w.add_bool(trace.spans);
   w.add_bool(trace.metrics);
+  w.add_bool(dynamic_tdd.enabled);
+  w.add_signed(dynamic_tdd.guard_slots);
+  w.add_signed(dynamic_tdd.hold_slots);
+  w.add_signed(dynamic_tdd.ul_guard_slots);
+  w.add_bool(dynamic_tdd.preemption);
+  w.add_double(dynamic_tdd.xlink_ul_bler);
 }
 
 CanonicalWords StackConfig::canonical_words() const {

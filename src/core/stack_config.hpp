@@ -25,6 +25,7 @@
 #include "radio/radio_head.hpp"
 #include "rlc/rlc_entity.hpp"
 #include "tdd/duplex_config.hpp"
+#include "tdd/dynamic_format.hpp"
 #include "trace/trace.hpp"
 
 namespace u5g {
@@ -87,6 +88,12 @@ struct StackConfig {
   /// Observability: per-packet spans + metrics (off by default — one dead
   /// branch per hook on the warm path).
   TraceConfig trace{};
+  /// Dynamic slot-format selection + URLLC preemption (tdd/dynamic_format.hpp).
+  /// Disabled by default: no decision events are scheduled, no extra RNG
+  /// draws happen, and every pre-dynamic golden stays byte-identical. The
+  /// block participates in the canonical identity, so the feasibility cache
+  /// can never serve a static-pattern verdict for a dynamic query.
+  DynamicTddConfig dynamic_tdd{};
 
   // -- Named presets ---------------------------------------------------------
 

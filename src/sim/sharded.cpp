@@ -172,6 +172,7 @@ ShardedEngine::ShardedEngine(const StackConfig& base, ShardedOptions opt) : base
   }
   active_.reserve(cells_.size());
   load_.resize(cells_.size());
+  xlink_.resize(cells_.size());
   const int threads = std::min(resolve_threads(opt.threads), base_.num_cells);
   if (threads > 1) gang_ = std::make_unique<ShardGang>(threads - 1, cells_.size());
 }
@@ -220,6 +221,20 @@ void ShardedEngine::exchange_load() {
   }
   for (std::size_t i = 0; i < cells_.size(); ++i) {
     cells_[i]->set_neighbor_load(base_.intercell_load_coupling * (total - load_[i]));
+  }
+  // Dynamic-TDD cross-link: a cell's DL-upgraded symbols interfere with its
+  // neighbours' uplink. Same fixed-order gather/apply as the load signal, so
+  // the aggregate is identical for every worker thread count; a cell never
+  // sees its own activity. Skipped entirely when the policy is disabled.
+  if (base_.dynamic_tdd.enabled) {
+    double activity = 0.0;
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      xlink_[i] = cells_[i]->dl_upgrade_activity();
+      activity += xlink_[i];
+    }
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      cells_[i]->set_crosslink(base_.intercell_load_coupling * (activity - xlink_[i]));
+    }
   }
 }
 
@@ -290,6 +305,24 @@ std::uint64_t ShardedEngine::radio_deadline_misses() const {
 std::uint64_t ShardedEngine::events_fired() const {
   std::uint64_t n = 0;
   for (const auto& c : cells_) n += c->system().simulator().events_fired();
+  return n;
+}
+
+std::uint64_t ShardedEngine::punctured_retx() const {
+  std::uint64_t n = 0;
+  for (const auto& c : cells_) n += c->system().punctured_retx();
+  return n;
+}
+
+std::uint64_t ShardedEngine::crosslink_ul_losses() const {
+  std::uint64_t n = 0;
+  for (const auto& c : cells_) n += c->system().crosslink_ul_losses();
+  return n;
+}
+
+std::uint64_t ShardedEngine::dynamic_upgraded_slots() const {
+  std::uint64_t n = 0;
+  for (const auto& c : cells_) n += c->system().dynamic_upgraded_slots();
   return n;
 }
 

@@ -102,6 +102,10 @@ class ShardedEngine {
   [[nodiscard]] std::uint64_t packets_delivered() const;
   [[nodiscard]] std::uint64_t radio_deadline_misses() const;
   [[nodiscard]] std::uint64_t events_fired() const;
+  /// Dynamic-TDD aggregates (all zero unless `dynamic_tdd.enabled`).
+  [[nodiscard]] std::uint64_t punctured_retx() const;
+  [[nodiscard]] std::uint64_t crosslink_ul_losses() const;
+  [[nodiscard]] std::uint64_t dynamic_upgraded_slots() const;
 
   /// Background-population aggregates summed over cells in fixed order.
   struct PopulationTotals {
@@ -130,6 +134,7 @@ class ShardedEngine {
   std::unique_ptr<ShardGang> gang_;  ///< null when running single-threaded
   std::vector<Cell*> active_;        ///< window dispatch list, storage reused
   std::vector<double> load_;         ///< barrier scratch, storage reused
+  std::vector<double> xlink_;        ///< barrier scratch: DL-upgrade activity
   Nanos now_{};                      ///< synchronisation frontier
 };
 

@@ -8,11 +8,14 @@
 #include <algorithm>
 #include <limits>
 #include <map>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "mac/mac_pdu.hpp"
+#include "tdd/common_config.hpp"
+#include "tdd/dynamic_format.hpp"
 #include "pdcp/cipher.hpp"
 #include "pdcp/pdcp_entity.hpp"
 #include "rlc/rlc_entity.hpp"
@@ -522,6 +525,81 @@ TEST(FuzzCipher, WordWiseKernelsMatchByteWiseOracles) {
       flipped[pos] ^= static_cast<std::uint8_t>(1u << rng.uniform_int(8));
       EXPECT_NE(tag, integrity_tag(flipped, ctx, count)) << "seed " << seed;
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic slot-format policy: random queue-state sequences
+
+TEST(FuzzDynamicTdd, RandomQueueSequencesKeepPolicyInvariants) {
+  // Three base skeletons with different static structure, random knobs and
+  // queue-state sequences. Invariants per step:
+  //   1. determinism — two identically-fed instances emit identical formats;
+  //   2. UL starvation bound — at most ul_guard_slots consecutive decisions
+  //      carry a DL upgrade, then a clean slot goes out;
+  //   3. render()/parse() round-trips losslessly;
+  //   4. monotone relaxation — the effective SlotFormat never demotes a
+  //      symbol the static base could use, and a committed overlay keeps
+  //      dl_capable/ul_capable a superset of the base.
+  const TddCommonConfig bases[] = {TddCommonConfig::du(kMu2), TddCommonConfig::dm(kMu2),
+                                   TddCommonConfig::mu(kMu2)};
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    const TddCommonConfig& base = bases[seed % 3];
+    Rng rng(seed * 0x9e3779b97f4a7c15ULL);
+    DynamicTddConfig cfg;
+    cfg.enabled = true;
+    cfg.guard_slots = static_cast<int>(rng.uniform_int(3));
+    cfg.hold_slots = 1 + static_cast<int>(rng.uniform_int(8));
+    cfg.ul_guard_slots = 1 + static_cast<int>(rng.uniform_int(4));
+
+    DynamicFormatPolicy a(base, cfg);
+    DynamicFormatPolicy b(base, cfg);
+    auto shared = std::make_shared<TddCommonConfig>(base);
+    DynamicDuplexConfig overlay(shared);
+    int dl_run = 0;
+    for (SlotIndex k = 0; k < 300; ++k) {
+      TddQueueState q;
+      q.sr_pending = static_cast<std::uint32_t>(rng.uniform_int(4));
+      q.cg_armed = static_cast<std::uint32_t>(rng.uniform_int(4));
+      q.ul_retx_tbs = static_cast<std::uint32_t>(rng.uniform_int(3));
+      q.ul_queued_sdus = static_cast<std::uint32_t>(rng.uniform_int(5));
+      q.dl_queued_sdus = static_cast<std::uint32_t>(rng.uniform_int(5));
+      q.dl_inflight_tbs = static_cast<std::uint32_t>(rng.uniform_int(3));
+
+      const DecidedFormat fa = a.decide(k, q);
+      const DecidedFormat fb = b.decide(k, q);
+      ASSERT_EQ(fa, fb) << "seed " << seed << " slot " << k;
+
+      if (fa.added_dl != 0) {
+        ++dl_run;
+        EXPECT_LE(dl_run, cfg.ul_guard_slots) << "seed " << seed << " slot " << k;
+      } else {
+        dl_run = 0;
+      }
+
+      const auto parsed = DecidedFormat::parse(fa.render());
+      ASSERT_TRUE(parsed.has_value()) << fa.render();
+      EXPECT_EQ(fa, *parsed);
+
+      const SlotIndex target = k + cfg.guard_slots;
+      const std::uint16_t bdl = a.base_dl_mask(target);
+      const std::uint16_t bul = a.base_ul_mask(target);
+      const SlotFormat sf = fa.to_slot_format(bdl, bul);
+      overlay.commit(target, fa);
+      for (int s = 0; s < kSymbolsPerSlot; ++s) {
+        const bool base_d = (bdl >> s) & 1u;
+        const bool base_u = (bul >> s) & 1u;
+        // A base-DL-only symbol may gain UL (becoming Flexible) but can
+        // never render Uplink-only; symmetrically for base-UL symbols.
+        if (base_d) EXPECT_NE(sf.symbols[static_cast<std::size_t>(s)], SymbolKind::Uplink);
+        if (base_u) EXPECT_NE(sf.symbols[static_cast<std::size_t>(s)], SymbolKind::Downlink);
+        if (base_d) EXPECT_TRUE(overlay.dl_capable(target, s));
+        if (base_u) EXPECT_TRUE(overlay.ul_capable(target, s));
+      }
+    }
+    // Replaying the identical sequence on a fresh policy reproduces the
+    // upgrade count: the decision is a pure function of the fed sequence.
+    EXPECT_EQ(a.upgraded_slots(), b.upgraded_slots());
   }
 }
 

@@ -185,6 +185,38 @@ TEST(StackConfigIdentityTest, ReplacingDuplexWithEqualValueKeepsKey) {
   EXPECT_EQ(a.canonical_key(), b.canonical_key());
 }
 
+TEST(StackConfigIdentityTest, DynamicTddKnobsParticipate) {
+  // A dynamic-policy query must never hit a static-pattern cache entry: the
+  // same stack with dynamic TDD switched on keys differently.
+  const StackConfig base = StackConfig::testbed_grant_free(7);
+  StackConfig dyn = base;
+  dyn.dynamic_tdd.enabled = true;
+  EXPECT_FALSE(base == dyn);
+  EXPECT_NE(base.canonical_key(), dyn.canonical_key());
+
+  // Every policy knob perturbs the key on its own.
+  StackConfig guard = dyn;
+  guard.dynamic_tdd.guard_slots = 2;
+  StackConfig hold = dyn;
+  hold.dynamic_tdd.hold_slots = 8;
+  StackConfig ul_guard = dyn;
+  ul_guard.dynamic_tdd.ul_guard_slots = 2;
+  StackConfig preempt = dyn;
+  preempt.dynamic_tdd.preemption = true;
+  StackConfig xlink = dyn;
+  xlink.dynamic_tdd.xlink_ul_bler = 0.1;
+  for (const StackConfig* c : {&guard, &hold, &ul_guard, &preempt, &xlink}) {
+    EXPECT_FALSE(dyn == *c);
+    EXPECT_NE(dyn.canonical_key(), c->canonical_key());
+  }
+
+  // Equal policies still share a key, so dynamic queries cache normally.
+  StackConfig same = base;
+  same.dynamic_tdd.enabled = true;
+  EXPECT_TRUE(dyn == same);
+  EXPECT_EQ(dyn.canonical_key(), same.canonical_key());
+}
+
 // ---------------------------------------------------------------------------
 // Service: analytic answers bit-identical to the offline path
 
