@@ -33,6 +33,7 @@ double simulate_mean_ul_us(const DuplexConfig& duplex, int n_ues, double per_ue_
   for (int ue = 0; ue < n_ues; ++ue) {
     double t = 0.0;
     while (true) {
+      // Rng::exponential takes the MEAN (seconds here), so rate -> 1/rate.
       t += rng.exponential(1.0 / per_ue_pps);
       if (t >= horizon_s) break;
       arrivals.push_back(Nanos{static_cast<std::int64_t>(t * 1e9)});

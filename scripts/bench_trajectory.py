@@ -24,6 +24,9 @@ Headline metrics:
               cells x background-UEs row of the sweep
   serve     - sync and batched queries/s plus the analytic cache hit rate
               of the feasibility-query service
+  coexistence - per-scenario delivered and within-deadline counts of the
+              NR-U LBT access matrix (deterministic fixed-seed counts, so
+              any drift is a behaviour change, not runner noise)
 """
 
 from __future__ import annotations
@@ -59,6 +62,13 @@ def headline_metrics(run: dict) -> dict[str, float]:
             out["events_per_s"] = top["events_per_s"]
             out["ue_pkt_per_s"] = top["ue_pkt_per_s"]
             out["ues_per_core"] = top["ues_per_core"]
+    elif bench == "coexistence":
+        for row in run.get("access", []):
+            # wifi_alone_* rows offer no NR-U traffic; nothing headline there.
+            if row.get("offered", 0) <= 0:
+                continue
+            out[f"{row['scenario']}_delivered"] = row["delivered"]
+            out[f"{row['scenario']}_within_deadline"] = row["within_deadline"]
     elif bench == "serve":
         out["queries_per_s"] = run["queries_per_s"]
         out["batch_queries_per_s"] = run["batch_queries_per_s"]

@@ -1,27 +1,30 @@
 #pragma once
 // The paper's §4 latency taxonomy: every interval of a packet's life is
-// attributed to exactly one of three budgets — protocol (waiting for
+// attributed to exactly one of four budgets — protocol (waiting for
 // opportunities, over-the-air time, core-network hops), processing (stack
-// traversal, PHY encode/decode, server turnaround), or radio (bus transfer,
-// DAC/ADC chains). The analytic model (core/latency_model), the measured
-// journey (core/journey), and the per-packet tracer (trace/) all tag their
-// intervals with this enum so Fig-3-style decompositions compose across
-// layers.
+// traversal, PHY encode/decode, server turnaround), radio (bus transfer,
+// DAC/ADC chains), or channel access (NR-U Listen-Before-Talk deferral:
+// CAT4 defer + backoff time spent sensing before a transmission may start;
+// always zero on licensed spectrum). The analytic model (core/latency_model),
+// the measured journey (core/journey), and the per-packet tracer (trace/)
+// all tag their intervals with this enum so Fig-3-style decompositions
+// compose across layers.
 
 namespace u5g {
 
-enum class LatencyCategory { Protocol, Processing, Radio };
+enum class LatencyCategory { Protocol, Processing, Radio, ChannelAccess };
 
 [[nodiscard]] constexpr const char* to_string(LatencyCategory c) {
   switch (c) {
     case LatencyCategory::Protocol: return "protocol";
     case LatencyCategory::Processing: return "processing";
     case LatencyCategory::Radio: return "radio";
+    case LatencyCategory::ChannelAccess: return "channel-access";
   }
   return "?";
 }
 
 /// Number of categories, for fixed-size per-category accumulators.
-inline constexpr int kLatencyCategoryCount = 3;
+inline constexpr int kLatencyCategoryCount = 4;
 
 }  // namespace u5g

@@ -51,6 +51,11 @@ constexpr std::array<const char*, 6> kUeLayerSpan = {"UE SDAP", "UE PDCP", "UE R
 /// interference perturbs no tracked draw ("crosslnk" in ASCII).
 constexpr std::uint64_t kCrosslinkSalt = 0x63726f'73736c'6e6bULL;
 
+/// LBT gate stream salt ("nru-lbt" in ASCII): the gate's streams derive from
+/// seed ^ salt, so enabling channel access perturbs no existing draw — and a
+/// disabled config never constructs the gate at all.
+constexpr std::uint64_t kLbtSalt = 0x6e'7275'2d6c'6274ULL;
+
 }  // namespace
 
 // ===========================================================================
@@ -152,6 +157,7 @@ struct E2eSystem::Impl {
   std::uint64_t missed_grants = 0;
   std::uint64_t harq_dropped = 0;   ///< TBs dropped: HARQ budget exhausted
   std::uint64_t stranded_drops = 0; ///< TBs/SDUs dropped: no opportunity in cap
+  std::uint64_t pdcp_discards = 0;  ///< PDUs PDCP refused: stale/duplicate/integrity
 
   // -- Dynamic TDD state (all inert when cfg.dynamic_tdd.enabled is false) --
   std::optional<DynamicFormatPolicy> policy;  ///< engaged iff dynamic enabled
@@ -161,6 +167,12 @@ struct E2eSystem::Impl {
   double dl_upgrade_activity = 0.0;  ///< own latest committed slot's added-DL fraction
   std::uint64_t punctured_retx = 0;  ///< eMBB TBs re-entered via puncture
   std::uint64_t xlink_losses = 0;    ///< UL transmissions lost to cross-link
+
+  // -- NR-U channel access (inert when cfg.lbt.enabled is false) ------------
+  /// Engaged iff cfg.lbt.enabled: the cell's shared-channel CAT4 gate.
+  /// UL and DL data blocks both clear it; SR/PDCCH/HARQ feedback ride the
+  /// short-control-signalling exemption.
+  std::optional<LbtGate> lbt;
 
   // In-flight accounting for the scale-out load signal (sim/sharded.hpp).
   std::uint64_t packets_started = 0;
@@ -232,6 +244,10 @@ struct E2eSystem::Impl {
     gnb.compute.proc.set_scale(1.0 + cfg.gnb_load_factor_per_ue *
                                          static_cast<double>(ues.size() - 1));
     if (cfg.blockage) blockage.emplace(*cfg.blockage, rng.fork());
+    // Channel-access gate seeded from (seed, salt) — NOT from `rng` — so
+    // enabling LBT perturbs no existing draw sequence, and disabling it
+    // leaves every run bitwise identical (no gate, no streams, no events).
+    if (cfg.lbt.enabled) lbt.emplace(cfg.lbt, hash_mix64(cfg.seed ^ kLbtSalt));
 
     tracer.enable(cfg.trace.spans_on());
     if (cfg.trace.metrics_on()) {
@@ -314,6 +330,20 @@ struct E2eSystem::Impl {
     ++xlink_losses;
     if (m.xlink_loss != nullptr) m.xlink_loss->inc();
     return true;
+  }
+
+  /// One CAT4 clearance for a data burst nominally occupying
+  /// [wanted, wanted + dur). The caller's trace cursor sits at `wanted`
+  /// (every data TX path advances it to the nominal air start first), so the
+  /// deferral span tiles exactly between the slot wait and the over-the-air
+  /// span — the fourth latency category. Only called when `lbt` is engaged.
+  LbtGate::Access lbt_clear(std::int32_t tseq, Nanos wanted, Nanos dur) {
+    const LbtGate::Access a = lbt->acquire(wanted, dur, sim.now());
+    if (a.deferral > Nanos::zero()) {
+      tracer.span_to(tseq, "LBT deferral (CAT4 backoff)", LatencyCategory::ChannelAccess,
+                     wanted + a.deferral);
+    }
+    return a;
   }
 
   /// One punctured TB re-entered HARQ (never called on terminal drops: the
@@ -607,11 +637,22 @@ struct E2eSystem::Impl {
     // right away when backlog remains (it need not wait for the gNB).
     if (cfg.grant_free && rlc.has_data()) schedule_cg_service(ue);
 
+    // NR-U: the block must win channel access first; deferral shifts the
+    // whole air window (the grid slot is a scheduling opportunity, the
+    // channel decides when the burst actually starts).
+    Nanos air_end = grant.tx_end;
+    LbtGate::Access access{};
+    if (lbt) {
+      access = lbt_clear(ue.ul_trace, grant.tx_start, grant.tx_end - grant.tx_start);
+      air_end += access.deferral;
+    }
     bool lost = channel_lost();
     // Cross-link interference: a neighbouring cell's DL-upgraded slot facing
     // this UL transmission (sharded engine, dynamic TDD).
     if (!lost && crosslink_ul_lost()) lost = true;
-    const Nanos air_end = grant.tx_end;
+    // Hidden interference the energy detector could not see.
+    if (!lost && access.collided) lost = true;
+    if (lbt) lbt->on_harq_feedback(lost);
     if (lost && attempt < cfg.harq_max_tx) {
       // NACK path: keep the TB, and after the feedback delay retransmit on
       // the next opportunity of the same access mode.
@@ -685,13 +726,23 @@ struct E2eSystem::Impl {
     UeCtx::RetxTb entry = std::move(ue.retx_queue.front());
     ue.retx_queue.pop_front();
     ue.retx_depth = static_cast<std::uint32_t>(ue.retx_queue.size());
+    // Retransmissions clear LBT like any other data burst (only short
+    // control signalling is exempt).
+    Nanos air_end = grant.tx_end;
+    LbtGate::Access access{};
+    if (lbt) {
+      access = lbt_clear(ue.ul_trace, grant.tx_start, grant.tx_end - grant.tx_start);
+      air_end += access.deferral;
+    }
     bool lost = channel_lost();
     if (!lost && crosslink_ul_lost()) lost = true;
+    if (!lost && access.collided) lost = true;
+    if (lbt) lbt->on_harq_feedback(lost);
     if (lost && entry.attempt < cfg.harq_max_tx) {
       tracer.span_to(ue.ul_trace, "UL data over the air (lost)", LatencyCategory::Protocol,
-                     grant.tx_end);
+                     air_end);
       tracer.span_to(ue.ul_trace, "HARQ feedback wait", LatencyCategory::Protocol,
-                     grant.tx_end + cfg.harq_feedback_delay);
+                     air_end + cfg.harq_feedback_delay);
       ++entry.attempt;
       entry.stranded_retries = 0;
       // Back to the *front*: the queue is ordered by first transmission, and
@@ -699,7 +750,7 @@ struct E2eSystem::Impl {
       // packet's recovery, unboundedly delaying its delivery.
       ue.retx_queue.push_front(std::move(entry));
       ue.retx_depth = static_cast<std::uint32_t>(ue.retx_queue.size());
-      sim.schedule_at(grant.tx_end + cfg.harq_feedback_delay, [this, &ue] { retransmit_ul(ue); });
+      sim.schedule_at(air_end + cfg.harq_feedback_delay, [this, &ue] { retransmit_ul(ue); });
       return;
     }
     if (lost) {
@@ -710,8 +761,8 @@ struct E2eSystem::Impl {
       return;
     }
     const int attempt = entry.attempt;
-    tracer.span_to(ue.ul_trace, "UL data over the air", LatencyCategory::Protocol, grant.tx_end);
-    sim.schedule_at(grant.tx_end, [this, &ue, tb = std::move(entry.tb), attempt]() mutable {
+    tracer.span_to(ue.ul_trace, "UL data over the air", LatencyCategory::Protocol, air_end);
+    sim.schedule_at(air_end, [this, &ue, tb = std::move(entry.tb), attempt]() mutable {
       const Nanos rx = gnb.compute.radio.rx_delivery_latency(
           samples_of(gnb.compute.radio, Nanos{100'000}));
       tracer.span_for(ue.ul_trace, "gNB radio RX chain", LatencyCategory::Radio, rx);
@@ -760,7 +811,13 @@ struct E2eSystem::Impl {
                                                                    const PacketMeta&) {
                            deliver_ul(ue, std::move(plain), attempt);
                          };
-                         gnb.uplink(chain).pdcp_rx.receive(std::move(sdu), deliver);
+                         // A refused PDU (stale behind a t-Reordering flush,
+                         // duplicate, or integrity-failed) is a terminal loss
+                         // for its packet: count it, or reliability silently
+                         // inflates when recovery outlasts the flush timer.
+                         if (!gnb.uplink(chain).pdcp_rx.receive(std::move(sdu), deliver)) {
+                           ++pdcp_discards;
+                         }
                          arm_pdcp_reordering(gnb.uplink(chain).pdcp_rx, ue.ul_reorder_armed,
                                              deliver);
                        });
@@ -1038,9 +1095,21 @@ struct E2eSystem::Impl {
     });
   }
 
-  void transmit_dl(UeCtx& ue, const DlAssignment& a, ByteBuffer tb, int attempt,
+  void transmit_dl(UeCtx& ue, const DlAssignment& assigned, ByteBuffer tb, int attempt,
                    std::uint64_t token = 0) {
-    const bool lost = channel_lost();
+    // NR-U: the gNB clears CAT4 before the burst; the whole assignment
+    // window shifts by the deferral (the caller's cursor already sits at
+    // the nominal tx_start, so the deferral span tiles exactly).
+    DlAssignment a = assigned;
+    LbtGate::Access access{};
+    if (lbt) {
+      access = lbt_clear(ue.dl_trace, a.tx_start, a.tx_end - a.tx_start);
+      a.tx_start += access.deferral;
+      a.tx_end += access.deferral;
+    }
+    bool lost = channel_lost();
+    if (!lost && access.collided) lost = true;
+    if (lbt) lbt->on_harq_feedback(lost);
     if (lost) {
       if (attempt < cfg.harq_max_tx) {
         tracer.span_to(ue.dl_trace, "DL data over the air (lost)", LatencyCategory::Protocol,
@@ -1107,7 +1176,9 @@ struct E2eSystem::Impl {
                                   if (ue.dl_trace == seq) ue.dl_trace = -1;
                                   finalize(seq, attempt);
                                 };
-                            ue.stack.downlink().pdcp_rx.receive(std::move(sdu), deliver);
+                            if (!ue.stack.downlink().pdcp_rx.receive(std::move(sdu), deliver)) {
+                              ++pdcp_discards;
+                            }
                             arm_pdcp_reordering(ue.stack.downlink().pdcp_rx,
                                                 ue.dl_reorder_armed, deliver);
                           });
@@ -1191,6 +1262,7 @@ std::uint64_t E2eSystem::packets_delivered() const { return impl_->packets_deliv
 
 std::uint64_t E2eSystem::harq_dropped_tbs() const { return impl_->harq_dropped; }
 std::uint64_t E2eSystem::stranded_drops() const { return impl_->stranded_drops; }
+std::uint64_t E2eSystem::pdcp_discards() const { return impl_->pdcp_discards; }
 std::uint64_t E2eSystem::punctured_retx() const { return impl_->punctured_retx; }
 std::uint64_t E2eSystem::crosslink_ul_losses() const { return impl_->xlink_losses; }
 
@@ -1204,6 +1276,14 @@ double E2eSystem::dl_upgrade_activity() const { return impl_->dl_upgrade_activit
 
 void E2eSystem::set_crosslink_dl_activity(double aggregate_activity) {
   impl_->xlink_activity = aggregate_activity;
+}
+
+LbtGate::Stats E2eSystem::lbt_stats() const {
+  return impl_->lbt ? impl_->lbt->stats() : LbtGate::Stats{};
+}
+
+Nanos E2eSystem::wifi_busy_until(Nanos horizon) {
+  return impl_->lbt ? impl_->lbt->wifi_busy_until(horizon) : Nanos{};
 }
 
 E2eSystem::MacBacklog E2eSystem::mac_backlog() const {

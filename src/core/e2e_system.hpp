@@ -101,6 +101,11 @@ class E2eSystem {
   [[nodiscard]] std::uint64_t harq_dropped_tbs() const;
   /// TBs/SDUs dropped after the stranded-retry cap: no opportunity found.
   [[nodiscard]] std::uint64_t stranded_drops() const;
+  /// PDUs PDCP-rx refused terminally: stale (the t-Reordering flush already
+  /// advanced past their COUNT — recovery took longer than the flush timer),
+  /// duplicate, or integrity-failed. Without this bucket a late-but-
+  /// successful HARQ recovery can still lose its packet silently.
+  [[nodiscard]] std::uint64_t pdcp_discards() const;
   /// eMBB DL TBs whose air window a URLLC arrival punctured and that
   /// re-entered HARQ (dynamic_tdd.preemption). Punctures are re-entries,
   /// never terminal: the identity above stays exact with this on the side.
@@ -156,6 +161,18 @@ class E2eSystem {
   /// Aggregate neighbour DL-upgrade activity, set by the sharded engine at
   /// slot barriers; scales UL loss by `dynamic_tdd.xlink_ul_bler`.
   void set_crosslink_dl_activity(double aggregate_activity);
+
+  // -- NR-U channel access (phy/lbt.hpp) ------------------------------------
+  // Inert when `StackConfig::lbt.enabled` is false: no gate exists, stats
+  // are all-zero, and `wifi_busy_until` reports no modeled Wi-Fi airtime.
+
+  /// CAT4 gate counters: attempts, deferrals, CW transitions, hidden
+  /// collisions, and airtime tallies. All-zero when LBT is disabled.
+  [[nodiscard]] LbtGate::Stats lbt_stats() const;
+  /// Modeled Wi-Fi busy airtime on [0, horizon) (generates the load process
+  /// up to `horizon` when LBT is enabled; 0 otherwise). Non-const: it may
+  /// extend the deterministic renewal stream.
+  [[nodiscard]] Nanos wifi_busy_until(Nanos horizon);
 
  private:
   struct Impl;

@@ -12,6 +12,7 @@ char category_glyph(LatencyCategory c) {
     case LatencyCategory::Protocol: return '=';
     case LatencyCategory::Processing: return '#';
     case LatencyCategory::Radio: return '~';
+    case LatencyCategory::ChannelAccess: return '!';
   }
   return '?';
 }

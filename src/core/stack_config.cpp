@@ -160,6 +160,20 @@ void StackConfig::append_canonical_words(CanonicalWords& w) const {
   w.add_signed(dynamic_tdd.ul_guard_slots);
   w.add_bool(dynamic_tdd.preemption);
   w.add_double(dynamic_tdd.xlink_ul_bler);
+  w.add_bool(lbt.enabled);
+  w.add_signed(lbt.cw_min);
+  w.add_signed(lbt.cw_max);
+  append(w, lbt.defer);
+  append(w, lbt.ed_slot);
+  w.add_double(lbt.ed_threshold_dbm);
+  w.add_double(lbt.wifi_energy_min_dbm);
+  w.add_double(lbt.wifi_energy_max_dbm);
+  w.add_double(lbt.hidden_collision_loss);
+  w.add_double(lbt.nack_ratio_threshold);
+  w.add_signed(lbt.min_feedback);
+  append(w, lbt.wifi_busy_mean);
+  append(w, lbt.wifi_idle_mean);
+  append(w, lbt.tx_gap);
 }
 
 CanonicalWords StackConfig::canonical_words() const {

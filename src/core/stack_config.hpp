@@ -21,6 +21,7 @@
 #include "mac/scheduler.hpp"
 #include "os/proc_time.hpp"
 #include "phy/channel.hpp"
+#include "phy/lbt.hpp"
 #include "phy/phy_timing.hpp"
 #include "radio/radio_head.hpp"
 #include "rlc/rlc_entity.hpp"
@@ -94,6 +95,12 @@ struct StackConfig {
   /// block participates in the canonical identity, so the feasibility cache
   /// can never serve a static-pattern verdict for a dynamic query.
   DynamicTddConfig dynamic_tdd{};
+  /// NR-U Listen-Before-Talk channel access (phy/lbt.hpp). Disabled by
+  /// default = licensed spectrum: no gate is constructed, no extra RNG
+  /// stream exists, and every pre-LBT golden stays byte-identical. The
+  /// block participates in the canonical identity, so the feasibility cache
+  /// can never serve a licensed-band verdict for an NR-U query.
+  LbtConfig lbt{};
 
   // -- Named presets ---------------------------------------------------------
 

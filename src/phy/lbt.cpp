@@ -1,0 +1,166 @@
+#include "phy/lbt.hpp"
+
+#include <algorithm>
+
+#include "common/hashing.hpp"
+
+namespace u5g {
+
+namespace {
+
+/// Stream salts for the gate's dedicated RNGs ("lbt!" / "wifi" in ASCII):
+/// forked from (seed ^ salt) so an enabled gate draws from streams no other
+/// component shares, and a disabled config constructs no gate at all.
+constexpr std::uint64_t kBackoffSalt = 0x6c62'7421ULL;
+constexpr std::uint64_t kWifiSalt = 0x7769'6669ULL;
+
+}  // namespace
+
+LbtGate::LbtGate(const LbtConfig& cfg, std::uint64_t seed)
+    : cfg_(cfg),
+      backoff_rng_(hash_mix64(seed ^ kBackoffSalt)),
+      wifi_rng_(hash_mix64(seed ^ kWifiSalt)),
+      cw_(cfg.cw_min) {}
+
+void LbtGate::extend_until(Nanos t) {
+  if (cfg_.wifi_busy_mean <= Nanos::zero()) {
+    wifi_frontier_ = std::max(wifi_frontier_, t);
+    return;
+  }
+  while (wifi_frontier_ < t) {
+    // One renewal: an idle gap, then a busy interval with a drawn energy.
+    const Nanos idle{static_cast<std::int64_t>(
+        wifi_rng_.exponential(static_cast<double>(cfg_.wifi_idle_mean.count())))};
+    // Busy intervals last at least one ED slot: shorter bursts could slip
+    // between two observation slots and would never gate anything.
+    const Nanos busy = std::max(
+        cfg_.ed_slot, Nanos{static_cast<std::int64_t>(wifi_rng_.exponential(
+                          static_cast<double>(cfg_.wifi_busy_mean.count())))});
+    const double energy =
+        wifi_rng_.uniform(cfg_.wifi_energy_min_dbm, cfg_.wifi_energy_max_dbm);
+    Interval iv;
+    iv.start = wifi_frontier_ + idle;
+    iv.end = iv.start + busy;
+    iv.sensed = energy >= cfg_.ed_threshold_dbm;
+    wifi_.push_back(iv);
+    wifi_busy_gen_ += busy;
+    wifi_frontier_ = iv.end;
+  }
+}
+
+void LbtGate::prune_before(Nanos t) {
+  while (!wifi_.empty() && wifi_.front().end <= t) wifi_.pop_front();
+}
+
+bool LbtGate::sensed_busy_in(Nanos a, Nanos b, Nanos& busy_end) {
+  extend_until(b);
+  for (const Interval& iv : wifi_) {
+    if (iv.start >= b) break;
+    if (iv.sensed && iv.end > a) {
+      busy_end = iv.end;
+      return true;
+    }
+  }
+  return false;
+}
+
+Nanos LbtGate::busy_overlap(Nanos a, Nanos b) {
+  extend_until(b);
+  Nanos total{};
+  for (const Interval& iv : wifi_) {
+    if (iv.start >= b) break;
+    const Nanos lo = std::max(iv.start, a);
+    const Nanos hi = std::min(iv.end, b);
+    if (hi > lo) total += hi - lo;
+  }
+  return total;
+}
+
+void LbtGate::update_cw() {
+  if (fb_total_ < static_cast<std::uint64_t>(cfg_.min_feedback)) return;
+  const double ratio =
+      static_cast<double>(fb_nacks_) / static_cast<double>(fb_total_);
+  if (ratio >= cfg_.nack_ratio_threshold) {
+    cw_ = std::min(2 * cw_ + 1, cfg_.cw_max);
+    ++stats_.cw_doublings;
+  } else {
+    if (cw_ != cfg_.cw_min) ++stats_.cw_resets;
+    cw_ = cfg_.cw_min;
+  }
+  fb_nacks_ = 0;
+  fb_total_ = 0;
+}
+
+void LbtGate::on_harq_feedback(bool nack) {
+  ++fb_total_;
+  if (nack) ++fb_nacks_;
+}
+
+LbtGate::Access LbtGate::acquire(Nanos wanted, Nanos duration, Nanos watermark) {
+  ++stats_.attempts;
+  prune_before(std::min(watermark, next_access_));
+  update_cw();
+
+  // Access attempts on one channel are serialised, and gap mode adds an
+  // enforced idle tail after each burst.
+  Nanos t = std::max(wanted, next_access_);
+  int counter = static_cast<int>(backoff_rng_.uniform_int(
+      static_cast<std::uint64_t>(cw_) + 1));
+
+  // CAT4: an idle defer period, then `counter` idle ED slots. Any sensed
+  // busy time freezes the countdown and forces a fresh defer once the
+  // channel clears; the counter itself is NOT redrawn (the standard's
+  // freeze-and-resume semantics).
+  for (;;) {
+    Nanos busy_end{};
+    if (sensed_busy_in(t, t + cfg_.defer, busy_end)) {
+      t = busy_end;
+      continue;
+    }
+    t += cfg_.defer;
+    bool frozen = false;
+    while (counter > 0) {
+      if (sensed_busy_in(t, t + cfg_.ed_slot, busy_end)) {
+        t = busy_end;
+        frozen = true;
+        break;
+      }
+      t += cfg_.ed_slot;
+      --counter;
+    }
+    if (!frozen) break;
+  }
+
+  Access a;
+  a.start = t;
+  a.deferral = t - wanted;
+  if (a.deferral > Nanos::zero()) ++stats_.deferred;
+  stats_.deferral_total += a.deferral;
+
+  // The granted burst occupies the channel; hidden (below-ED) interference
+  // overlapping it can destroy the transport block — the sensor cleared a
+  // channel that was not actually clear.
+  const Nanos overlap = busy_overlap(t, t + duration);
+  stats_.nru_airtime += duration;
+  stats_.wifi_overlap += overlap;
+  if (overlap > Nanos::zero() &&
+      backoff_rng_.bernoulli(cfg_.hidden_collision_loss)) {
+    a.collided = true;
+    ++stats_.hidden_collisions;
+  }
+  next_access_ = t + duration + cfg_.tx_gap;
+  return a;
+}
+
+Nanos LbtGate::wifi_busy_until(Nanos horizon) {
+  extend_until(horizon);
+  // All generated busy time, minus the part of still-queued intervals that
+  // hangs past the horizon (pruned intervals all ended before it).
+  Nanos busy = wifi_busy_gen_;
+  for (const Interval& iv : wifi_) {
+    if (iv.end > horizon) busy -= iv.end - std::max(iv.start, horizon);
+  }
+  return busy;
+}
+
+}  // namespace u5g

@@ -326,6 +326,22 @@ std::uint64_t ShardedEngine::dynamic_upgraded_slots() const {
   return n;
 }
 
+LbtGate::Stats ShardedEngine::lbt_stats() const {
+  LbtGate::Stats t;
+  for (const auto& c : cells_) {
+    const LbtGate::Stats s = c->system().lbt_stats();
+    t.attempts += s.attempts;
+    t.deferred += s.deferred;
+    t.deferral_total += s.deferral_total;
+    t.cw_doublings += s.cw_doublings;
+    t.cw_resets += s.cw_resets;
+    t.hidden_collisions += s.hidden_collisions;
+    t.nru_airtime += s.nru_airtime;
+    t.wifi_overlap += s.wifi_overlap;
+  }
+  return t;
+}
+
 ShardedEngine::PopulationTotals ShardedEngine::population_totals() const {
   PopulationTotals t;
   for (const auto& c : cells_) {

@@ -106,6 +106,9 @@ class ShardedEngine {
   [[nodiscard]] std::uint64_t punctured_retx() const;
   [[nodiscard]] std::uint64_t crosslink_ul_losses() const;
   [[nodiscard]] std::uint64_t dynamic_upgraded_slots() const;
+  /// NR-U channel-access stats summed over cells in fixed order (all zero
+  /// unless `lbt.enabled`).
+  [[nodiscard]] LbtGate::Stats lbt_stats() const;
 
   /// Background-population aggregates summed over cells in fixed order.
   struct PopulationTotals {

@@ -163,6 +163,20 @@ TEST(RngTest, ExponentialMean) {
   EXPECT_NEAR(s.mean(), 40.0, 1.0);
 }
 
+TEST(RngTest, ExponentialRateIdiom) {
+  // `Rng::exponential` takes the MEAN, never the rate. Call sites that
+  // think in events/second (the coexistence and multi-UE benches) must pass
+  // 1/rate; this pins the convention so a silent mean<->rate swap (off by
+  // rate^2) cannot survive the suite. Audited sites all pass means:
+  // channel dwell, traffic interarrival, UPF queue, jitter spikes.
+  Rng r(13);
+  const double rate = 800.0;
+  RunningStats s;
+  for (int i = 0; i < 100'000; ++i) s.add(r.exponential(1.0 / rate));
+  EXPECT_NEAR(s.mean() * rate, 1.0, 0.02);
+  EXPECT_NEAR(s.stddev() * rate, 1.0, 0.05);  // Exp: stddev == mean
+}
+
 TEST(RngTest, ForkIsIndependent) {
   Rng a(12);
   Rng b = a.fork();

@@ -45,6 +45,25 @@ TEST(SrProcedureTest, PerSlotGridAlignsToUlSlots) {
   EXPECT_EQ(op2->start, Nanos{3'500'000});
 }
 
+TEST(SrProcedureTest, OnBoundaryArrivalCatchesCurrentWindow) {
+  // Pins the align_up/align_down convention at the SR grid (audited in the
+  // LBT PR): an arrival exactly on a grid point whose window has not yet
+  // started belongs to the CURRENT period — `align_down` finds this
+  // period's window and the `w->start >= t` guard accepts it; the
+  // `from == t ? from + periodicity` bump only applies once the window is
+  // genuinely behind the arrival.
+  const TddCommonConfig dddu = TddCommonConfig::dddu(kMu1);  // U slot at 1.5 ms
+  SrProcedure sr{SrConfig::per_slot(kMu1)};
+  // 1.5 ms is both a grid point and the UL window start: usable immediately.
+  const auto on = sr.next_sr_opportunity(dddu, Nanos{1'500'000});
+  ASSERT_TRUE(on.has_value());
+  EXPECT_EQ(on->start, Nanos{1'500'000});
+  // On the grid point one slot *before* the UL slot: still this period.
+  const auto before = sr.next_sr_opportunity(dddu, Nanos{1'000'000});
+  ASSERT_TRUE(before.has_value());
+  EXPECT_EQ(before->start, Nanos{1'500'000});
+}
+
 TEST(SrProcedureTest, TransmissionBudget) {
   SrProcedure sr{SrConfig{Nanos::zero(), 1, 3}};
   EXPECT_FALSE(sr.exhausted());
@@ -79,6 +98,26 @@ TEST(ConfiguredGrantTest, PeriodicOnePerGridPeriod) {
   const auto g2 = cg.next_occasion(dddu, g1->tx_start + 1_ns);
   ASSERT_TRUE(g2.has_value());
   EXPECT_EQ(g2->tx_start, Nanos{3'500'000});
+}
+
+TEST(ConfiguredGrantTest, OnBoundarySemantics) {
+  // Same boundary convention as the SR grid, with the offset phase live.
+  const TddCommonConfig dddu = TddCommonConfig::dddu(kMu1);  // 2 ms period, U at 1.5
+  const ConfiguredGrant cg{UeId{1}, ConfiguredGrantConfig::periodic(2_ms, 256, 4)};
+  // Arriving exactly when the occasion's window starts: usable, not skipped.
+  const auto at_window = cg.next_occasion(dddu, Nanos{1'500'000});
+  ASSERT_TRUE(at_window.has_value());
+  EXPECT_EQ(at_window->tx_start, Nanos{1'500'000});
+  // Arriving exactly on the next grid point (2 ms): that period's window.
+  const auto at_grid = cg.next_occasion(dddu, 2_ms);
+  ASSERT_TRUE(at_grid.has_value());
+  EXPECT_EQ(at_grid->tx_start, Nanos{3'500'000});
+  // Offset shifts the grid phase without changing the boundary rule.
+  const ConfiguredGrant staggered{
+      UeId{2}, ConfiguredGrantConfig::periodic(2_ms, 256, 4, Nanos{500'000})};
+  const auto off = staggered.next_occasion(dddu, Nanos{500'000});
+  ASSERT_TRUE(off.has_value());
+  EXPECT_EQ(off->tx_start, Nanos{1'500'000});  // this offset-period's UL window
 }
 
 TEST(ConfiguredGrantTest, OccasionsPerSecond) {

@@ -131,6 +131,21 @@ TEST(RachTest, TimelineIsContiguousAndFeasible) {
   EXPECT_NE(r.find("msg4"), std::string::npos);
 }
 
+TEST(RachTest, OnGridArrivalUsesCurrentPrachPeriod) {
+  // Boundary convention at the PRACH grid (same rule as SR/CG occasions):
+  // a UE deciding to access exactly on a grid point takes THIS period's
+  // occasion — the wait to msg1 must stay under one PRACH period, not be
+  // bumped a whole period by an off-by-one in the align_up fallthrough.
+  const TddCommonConfig dm = TddCommonConfig::dm(kMu2);
+  const RachConfig rc = RachConfig::typical();
+  const Nanos base = align_up(dm.period() * 8, rc.prach_periodicity);
+  const Timeline tl = trace_random_access(dm, base, rc);
+  ASSERT_TRUE(tl.feasible);
+  ASSERT_FALSE(tl.steps.empty());
+  EXPECT_EQ(tl.steps.front().start, base);
+  EXPECT_LT(tl.steps.front().end - base, rc.prach_periodicity);  // msg1 this period
+}
+
 TEST(RachTest, TwoStepSkipsMsg3And4) {
   const TddCommonConfig dm = TddCommonConfig::dm(kMu2);
   const Nanos base = align_up(dm.period() * 8, RachConfig::two_step().prach_periodicity);

@@ -290,8 +290,8 @@ void expect_exact_attribution(const E2eSystem& sys) {
   for (const PacketRecord& r : sys.records()) {
     ASSERT_TRUE(r.ok) << "packet " << r.seq << " not delivered";
     Nanos categories{};
-    for (LatencyCategory c :
-         {LatencyCategory::Protocol, LatencyCategory::Processing, LatencyCategory::Radio}) {
+    for (LatencyCategory c : {LatencyCategory::Protocol, LatencyCategory::Processing,
+                              LatencyCategory::Radio, LatencyCategory::ChannelAccess}) {
       categories += sys.tracer().category_total(r.seq, c);
     }
     EXPECT_EQ(r.latency(), categories) << "packet " << r.seq;
